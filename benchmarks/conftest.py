@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each bench wraps one experiment harness with pytest-benchmark, runs it
+once per round (the harnesses are deterministic simulations — variance
+is wall-clock only), prints the paper-shaped table, and asserts the
+*shape* properties the paper reports (who wins, roughly by how much,
+where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def render(capsys):
+    """Print an ExperimentResult table so it lands in the bench log."""
+    def _render(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+    return _render

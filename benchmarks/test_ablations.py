@@ -1,0 +1,52 @@
+"""Benches: DESIGN.md ablations D1-D4."""
+
+from repro.experiments import (run_d1_validation_cost, run_d2_shootdown,
+                               run_d3_flush_sensitivity, run_d4_depth)
+
+
+def test_d1_validation_cost(benchmark, render):
+    result = benchmark.pedantic(run_d1_validation_cost, rounds=1,
+                                iterations=1)
+    render(result)
+    rows = result.row_dict("Access pattern")
+    fast = rows["own page (fast path)"]
+    fallback = rows["outer page (fallback)"]
+    # The fallback costs strictly more and runs exactly one check/miss;
+    # the fast path is identical to baseline SGX (zero nested checks).
+    assert fast["nested checks per miss"] == 0
+    assert fallback["nested checks per miss"] == 1
+    assert fallback["ns per miss"] > fast["ns per miss"]
+
+
+def test_d2_shootdown(benchmark, render):
+    result = benchmark.pedantic(run_d2_shootdown, rounds=1, iterations=1)
+    render(result)
+    rows = result.row_dict("Strategy")
+    # Global flush IPIs every core; precise tracking avoids IPIs but
+    # still flushes the dirty core.
+    assert rows["global-flush"]["IPIs"] > rows["precise"]["IPIs"]
+    assert rows["global-flush"]["sim us"] > rows["precise"]["sim us"]
+    assert rows["precise"]["TLB flushes"] > 0
+
+
+def test_d3_flush_sensitivity(benchmark, render):
+    result = benchmark.pedantic(run_d3_flush_sensitivity, rounds=1,
+                                iterations=1)
+    render(result)
+    rows = result.row_dict("tlb_flush_ns scale")
+    # More expensive flushes widen the nested/monolithic gap.
+    assert rows[0.0]["Normalized throughput"] \
+        > rows[4.0]["Normalized throughput"]
+    for scale, row in rows.items():
+        assert row["Normalized throughput"] <= 1.001
+
+
+def test_d4_depth(benchmark, render):
+    result = benchmark.pedantic(run_d4_depth, rounds=1, iterations=1)
+    render(result)
+    rows = result.row_dict("Depth to target")
+    # Check count equals the chain depth; cost grows monotonically.
+    for depth, row in rows.items():
+        assert row["nested checks per miss"] == depth
+    costs = [rows[d]["ns per miss"] for d in sorted(rows)]
+    assert costs == sorted(costs)

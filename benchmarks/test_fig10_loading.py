@@ -1,0 +1,27 @@
+"""Bench: Figure 10 — enclave load time and memory footprint."""
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_loading(benchmark, render):
+    result = benchmark.pedantic(
+        run_fig10, kwargs={"n": 40, "outer_sweep": (1, 4, 10, 40),
+                           "page_scale": 0.05},
+        rounds=1, iterations=1)
+    render(result)
+    rows = {row[0]: row for row in result.rows}
+    separate = rows["baseline: 40 SSL, 40 App"]
+    combined = rows["baseline: 40 SSL+App"]
+    shared_1 = rows["nested: 1 SSL outer, 40 App inner"]
+    shared_n = rows["nested: 40 SSL outer, 40 App inner"]
+
+    # Paper shape 1: maximal sharing slashes load time and memory.
+    assert shared_1[1] < 0.5 * combined[1]       # load time
+    assert shared_1[2] < 0.5 * combined[2]       # memory
+    # Paper shape 2: k=N nested ~ the separate baseline.
+    assert abs(shared_n[2] - separate[2]) / separate[2] < 0.05
+    assert shared_n[1] < 1.25 * separate[1]
+    # Paper shape 3: benefits grow monotonically with sharing.
+    load_times = [rows[f"nested: {k} SSL outer, 40 App inner"][1]
+                  for k in (1, 4, 10, 40)]
+    assert load_times == sorted(load_times)

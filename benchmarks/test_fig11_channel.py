@@ -1,0 +1,37 @@
+"""Bench: Figure 11 — MEE channel vs AES-GCM channel throughput."""
+
+from repro.experiments import run_fig11
+
+
+def test_fig11_channel(benchmark, render):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    render(result)
+    rows = result.rows  # (footprint, chunk, mee, gcm, speedup)
+
+    # Paper shape 1: the MEE channel wins in every configuration.
+    for footprint, chunk, mee, gcm, speedup in rows:
+        assert speedup > 1.0, (footprint, chunk)
+
+    # Paper shape 2: largest speedup at the smallest chunks (tens of x,
+    # "up to 29.9 times" in the paper) while cache-resident.
+    resident = [row for row in rows if row[0].startswith("1x")
+                or row[0].startswith("0.125x")]
+    small_chunk = min(resident, key=lambda row: row[1])
+    assert small_chunk[4] > 15.0
+
+    # Paper shape 3: speedup shrinks as chunks grow (GCM amortizes).
+    by_footprint = {}
+    for row in rows:
+        by_footprint.setdefault(row[0], []).append(row)
+    for footprint, series in by_footprint.items():
+        series.sort(key=lambda row: row[1])
+        speedups = [row[4] for row in series]
+        assert speedups[0] > speedups[-1], footprint
+
+    # Paper shape 4: blowing past the LLC hurts the MEE channel more
+    # (the ring starts paying MEE per line), narrowing the gap.
+    resident_64 = next(row for row in rows
+                       if row[0].startswith("1x") and row[1] == 64)
+    beyond_64 = next(row for row in rows
+                     if row[0].startswith("8x") and row[1] == 64)
+    assert beyond_64[4] < resident_64[4]

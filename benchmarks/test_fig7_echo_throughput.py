@@ -1,0 +1,23 @@
+"""Bench: Figure 7 — echo-server throughput vs chunk size."""
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_echo_throughput(benchmark, render):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"total_bytes": 128 * 1024}, rounds=1,
+        iterations=1)
+    render(result)
+    rows = result.row_dict("Chunk")
+    degradations = [rows[c]["Degradation %"] for c in sorted(rows)]
+    # Paper shape: 2-6% degradation, monotonically easier as chunks grow.
+    for degradation in degradations:
+        assert 0.0 < degradation < 10.0
+    assert degradations[0] > degradations[-1]
+    # Nested issues more calls (n_ecall/n_ocall included) than monolithic.
+    for chunk, row in rows.items():
+        assert row["Nested calls"] > row["Monolithic calls"]
+        # Calls scale inversely with chunk size.
+    chunks = sorted(rows)
+    assert rows[chunks[0]]["Nested calls"] \
+        > rows[chunks[-1]]["Nested calls"]

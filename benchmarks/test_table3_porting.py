@@ -1,0 +1,17 @@
+"""Bench: Table III — porting effort in modified LoC."""
+
+from repro.experiments import run_table3
+
+
+def test_table3_porting(benchmark, render):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    render(result)
+    # Paper shape: porting touches tens of lines per app while the
+    # SGX-enabled libraries stay untouched (hundreds+ of lines each).
+    for row in result.rows:
+        name, kind, modified, original = row
+        if "unmodified" in kind:
+            assert modified == 0
+            assert original > 100
+        else:
+            assert 0 < modified < 100

@@ -1,0 +1,18 @@
+"""Bench: Table V — LibSVM dataset characteristics."""
+
+from repro.apps.datasets import TABLE_V
+from repro.experiments import run_table5
+
+
+def test_table5_datasets(benchmark, render):
+    result = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    render(result)
+    rows = result.row_dict("name")
+    assert len(rows) == 5
+    # Spot-check the paper's values survive verbatim.
+    assert rows["cod-rna"]["training size"] == 59_535
+    assert rows["dna"]["testing size"] == 1_186
+    assert rows["colon-cancer"]["feature"] == 2_000
+    assert rows["protein"]["class"] == 3
+    assert rows["phishing"]["testing size"] == "-"
+    assert {spec.name for spec in TABLE_V} == set(rows)

@@ -1,0 +1,15 @@
+"""Bench: Table VI — SQLite YCSB normalized throughput."""
+
+from repro.experiments import run_table6
+
+
+def test_table6_sqlite_ycsb(benchmark, render):
+    result = benchmark.pedantic(
+        run_table6, kwargs={"operations": 1000, "records": 300},
+        rounds=1, iterations=1)
+    render(result)
+    rows = result.row_dict("Workload")
+    assert len(rows) == 4
+    for mix, row in rows.items():
+        # Paper shape: <= ~2-3% overhead on every mix.
+        assert 0.96 <= row["Normalized Throughput"] <= 1.01, mix

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Case study VI-A: confining a vulnerable TLS library.
+
+Runs the Heartbleed exploit against the echo server in both layouts:
+
+* **monolithic** — minissl (with the heartbeat over-read bug) and the
+  application share one enclave; the exploit exfiltrates the app's
+  private key material through the heartbeat response.
+* **nested** — the library is confined to the outer enclave, the app's
+  secrets live in the inner enclave; the same exploit still over-reads
+  library heap memory but the secret is physically unreachable.
+
+Also shows the patched-library behaviour for comparison.
+
+Run: ``python examples/heartbleed_confinement.py``
+"""
+
+from repro.apps.ports.echo import MonolithicEchoServer, NestedEchoServer
+from repro.attacks.heartbleed import run_heartbleed
+from repro.core import NestedValidator
+from repro.os import Kernel
+from repro.sdk import EnclaveHost
+from repro.sgx import Machine
+from repro.sgx.access import BaselineValidator
+
+SECRET = b"-----PRIVATE KEY: 9f86d081884c7d65-----"
+
+
+def fresh_host(validator):
+    machine = Machine(validator_cls=validator)
+    return EnclaveHost(machine, Kernel(machine))
+
+
+def show(outcome, label: str) -> None:
+    print(f"--- {label} ---")
+    if outcome.response_empty:
+        print("  server silently discarded the malformed heartbeat "
+              "(patched library)")
+        return
+    print(f"  heartbeat response leaked {len(outcome.leaked)} bytes of "
+          f"server heap")
+    snippet = outcome.leaked[:96]
+    printable = "".join(chr(b) if 32 <= b < 127 else "." for b in snippet)
+    print(f"  leak preview: {printable}")
+    verdict = ("SECRET EXFILTRATED" if outcome.secret_leaked
+               else "secret NOT in the leak")
+    print(f"  => {verdict}")
+
+
+def main() -> None:
+    print("Planted application secret:", SECRET.decode())
+    print()
+
+    mono = MonolithicEchoServer(fresh_host(BaselineValidator))
+    show(run_heartbleed(mono, secret=SECRET),
+         "monolithic enclave (library + app share one domain)")
+    print()
+
+    nested = NestedEchoServer(fresh_host(NestedValidator))
+    show(run_heartbleed(nested, secret=SECRET),
+         "nested enclave (library confined to the outer enclave)")
+    print()
+
+    patched = MonolithicEchoServer(fresh_host(BaselineValidator),
+                                   patched=True)
+    show(run_heartbleed(patched, secret=SECRET),
+         "monolithic with the patched library (for reference)")
+    print()
+    print("conclusion: nested enclaves confine the *unpatched* bug — no "
+          "library fix required for the app secret to survive.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Paper §VIII extensions: multi-level nesting and the lattice model.
+
+Builds a three-level chain (platform > tenant > user) and a lattice
+(one auditor inner enclave bound to two outer enclaves), then shows the
+generalized MLS access matrix the extended validator enforces:
+
+* a level-k enclave reads every level above it in its outer chain,
+* no enclave reads anything below it,
+* the validation walk costs one check per chain hop (ablation D4).
+
+Run: ``python examples/multilevel_nesting.py``
+"""
+
+from repro.core import NestedValidator, audit_machine
+from repro.core.association import nasso
+from repro.errors import AccessViolation
+from repro.os import Kernel
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sgx import Machine
+
+EDL = """
+enclave {
+    trusted {
+        public int put(int value);
+        public int get(int addr);
+    };
+};
+"""
+
+
+def put(ctx, value):
+    addr = ctx.malloc(8)
+    ctx.write(addr, value.to_bytes(8, "little"))
+    return addr
+
+
+def get(ctx, addr):
+    return int.from_bytes(ctx.read(addr, 8), "little")
+
+
+def build(host, name, key, peers=()):
+    builder = EnclaveBuilder(name, parse_edl(EDL, name=name),
+                             signing_key=key)
+    builder.add_entry("put", put)
+    builder.add_entry("get", get)
+    for mre, mrs in peers:
+        builder.expect_peer(mre, mrs)
+    return builder
+
+
+def main() -> None:
+    machine = Machine(validator_cls=NestedValidator)
+    host = EnclaveHost(machine, Kernel(machine))
+    key = developer_key("multilevel")
+
+    # --- three-level chain: platform (outermost) > tenant > user ---
+    platform_img = build(host, "platform", key).build()
+    tenant_b = build(host, "tenant", key,
+                     peers=[(platform_img.sigstruct.expected_mrenclave,
+                             platform_img.sigstruct.mrsigner)])
+    tenant_img = tenant_b.build()
+    user_b = build(host, "user", key,
+                   peers=[(tenant_img.sigstruct.expected_mrenclave,
+                           tenant_img.sigstruct.mrsigner)])
+    user_img = user_b.build()
+
+    platform_b2 = build(host, "platform", key,
+                        peers=[(tenant_img.sigstruct.expected_mrenclave,
+                                tenant_img.sigstruct.mrsigner)])
+    tenant_b2 = build(host, "tenant", key,
+                      peers=[(platform_img.sigstruct.expected_mrenclave,
+                              platform_img.sigstruct.mrsigner),
+                             (user_img.sigstruct.expected_mrenclave,
+                              user_img.sigstruct.mrsigner)])
+    platform = host.load(platform_b2.build())
+    tenant = host.load(tenant_b2.build())
+    user = host.load(user_img)
+    host.associate(tenant, platform)
+    host.associate(user, tenant)
+    print("chain: user -> tenant -> platform (NASSO x2)")
+
+    plat_addr = platform.ecall("put", 100)
+    ten_addr = tenant.ecall("put", 200)
+    usr_addr = user.ecall("put", 300)
+
+    # user (innermost, highest clearance) reads the whole chain.
+    assert user.ecall("get", ten_addr) == 200
+    assert user.ecall("get", plat_addr) == 100   # grandparent walk
+    print("user reads tenant and platform memory: OK "
+          "(multi-hop validation walk)")
+
+    # downward reads all abort.
+    for reader, target, label in ((tenant, usr_addr, "tenant->user"),
+                                  (platform, ten_addr,
+                                   "platform->tenant"),
+                                  (platform, usr_addr,
+                                   "platform->user")):
+        try:
+            reader.ecall("get", target)
+            raise SystemExit(f"BUG: {label} read succeeded")
+        except AccessViolation:
+            print(f"{label} read: blocked")
+
+    # --- lattice: one auditor inner bound to TWO outers (§VIII) ---
+    dept_a_img = build(host, "dept-a", key).build()
+    dept_b_img = build(host, "dept-b", key).build()
+    auditor_b = build(host, "auditor", key,
+                      peers=[(dept_a_img.sigstruct.expected_mrenclave,
+                              dept_a_img.sigstruct.mrsigner),
+                             (dept_b_img.sigstruct.expected_mrenclave,
+                              dept_b_img.sigstruct.mrsigner)])
+    auditor_img = auditor_b.build()
+    aud_peer = (auditor_img.sigstruct.expected_mrenclave,
+                auditor_img.sigstruct.mrsigner)
+    dept_a = host.load(build(host, "dept-a", key,
+                             peers=[aud_peer]).build())
+    dept_b = host.load(build(host, "dept-b", key,
+                             peers=[aud_peer]).build())
+    auditor = host.load(auditor_img)
+    nasso(machine, auditor.secs, dept_a.secs, allow_lattice=True)
+    nasso(machine, auditor.secs, dept_b.secs, allow_lattice=True)
+    auditor.outer = dept_a   # runtime bookkeeping for n_ocalls
+    print("\nlattice: auditor bound to dept-a AND dept-b "
+          "(allow_lattice=True)")
+
+    a_addr = dept_a.ecall("put", 111)
+    b_addr = dept_b.ecall("put", 222)
+    assert auditor.ecall("get", a_addr) == 111
+    assert auditor.ecall("get", b_addr) == 222
+    print("auditor reads both departments: OK")
+    try:
+        dept_a.ecall("get", b_addr)
+        raise SystemExit("BUG: departments see each other")
+    except AccessViolation:
+        print("dept-a -> dept-b read: blocked (no path through the "
+              "shared inner)")
+
+    assert audit_machine(machine) == []
+    print("\nsecurity-invariant audit: CLEAN")
+
+
+if __name__ == "__main__":
+    main()

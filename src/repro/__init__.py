@@ -1,0 +1,21 @@
+"""repro — a full-system reproduction of *Nested Enclave: Supporting
+Fine-grained Hierarchical Isolation with SGX* (Park et al., ISCA 2020).
+
+Quick orientation:
+
+* :mod:`repro.sgx`   — baseline SGX substrate (machine, ISA, MEE, TLB…).
+* :mod:`repro.core`  — the nested-enclave extension (the contribution).
+* :mod:`repro.os`    — untrusted OS: driver, scheduler, IPC, attackers.
+* :mod:`repro.sdk`   — EDL, enclave builder/signer, call runtime.
+* :mod:`repro.apps`  — case-study applications (minissl/minidb/minisvm).
+* :mod:`repro.attacks` — attack drivers used by the security analysis.
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+The one-call entry point for most users is
+:class:`repro.sdk.runtime.EnclaveHost`, demonstrated in
+``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,10 @@
+"""Case-study applications (paper §VI) and their enclave ports.
+
+* :mod:`repro.apps.minissl`  — OpenSSL analogue (TLS-like + Heartbleed).
+* :mod:`repro.apps.minidb`   — SQLite analogue (SQL engine).
+* :mod:`repro.apps.minisvm`  — LibSVM analogue (SMO C-SVC).
+* :mod:`repro.apps.datasets` — Table V synthetic dataset generators.
+* :mod:`repro.apps.ycsb`     — Table VI workload generator.
+* :mod:`repro.apps.ports`    — monolithic + nested enclave deployments
+  of each application (echo, mlservice, dbservice, fastcomm, sharing).
+"""

@@ -1,0 +1,126 @@
+"""Synthetic dataset generators matching Table V's shapes.
+
+The paper evaluates LibSVM on five public datasets.  We cannot ship
+those, so each generator produces a synthetic classification problem
+with the same **class count, training size, testing size and feature
+count** the paper's Table V reports; Fig. 9's result (nested ≈
+monolithic, because transition counts are tiny relative to kernel
+compute) depends only on those shape parameters.
+
+Datasets whose testing size the paper marks '-' reuse a slice of their
+training data for prediction runs, exactly as the paper does ("training
+set is reused as test set").
+
+Generation: per-class Gaussian blobs with class-dependent means over a
+seeded RNG, scaled to [-1, 1] like LibSVM's recommended preprocessing.
+``scale`` shrinks the sample counts proportionally (Python SMO on 59 535
+samples is infeasible); the *relative* shapes across datasets survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table V row."""
+
+    name: str
+    classes: int
+    training_size: int
+    testing_size: int | None    # None = '-' in the paper
+    features: int
+
+
+#: Table V, verbatim shapes.
+TABLE_V = (
+    DatasetSpec("cod-rna", 2, 59_535, None, 8),
+    DatasetSpec("colon-cancer", 2, 62, None, 2_000),
+    DatasetSpec("dna", 3, 2_000, 1_186, 180),
+    DatasetSpec("phishing", 2, 11_055, None, 68),
+    DatasetSpec("protein", 3, 17_766, 6_621, 357),
+)
+
+SPECS_BY_NAME = {spec.name: spec for spec in TABLE_V}
+
+
+@dataclass
+class Dataset:
+    spec: DatasetSpec
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+    @property
+    def reused_training_as_test(self) -> bool:
+        return self.spec.testing_size is None
+
+
+def _class_means(rng: np.random.Generator, classes: int,
+                 features: int) -> np.ndarray:
+    """One mean vector per class, ~4 units apart, any dimensionality."""
+    means = np.empty((classes, features))
+    for label in range(classes):
+        direction = rng.normal(0.0, 1.0, size=features)
+        direction /= np.linalg.norm(direction) or 1.0
+        means[label] = direction * 4.0
+    return means
+
+
+def _blobs(rng: np.random.Generator, means: np.ndarray,
+           n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian blobs around fixed per-class means, scaled into [-1, 1].
+
+    Train and test splits share ``means`` so they are drawn from the
+    same distribution (only then is prediction accuracy meaningful).
+    """
+    classes, features = means.shape
+    per_class = [n // classes] * classes
+    for i in range(n - sum(per_class)):
+        per_class[i] += 1
+    xs, ys = [], []
+    for label, count in enumerate(per_class):
+        xs.append(rng.normal(means[label], 1.0, size=(count, features)))
+        ys.append(np.full(count, label + 1))
+    x = np.vstack(xs)
+    y = np.concatenate(ys)
+    order = rng.permutation(len(x))
+    x, y = x[order], y[order]
+    scale = 4.0 + 4.0 / np.sqrt(features)  # deterministic, split-stable
+    # Gaussian tails can exceed the fixed normaliser; clip them so the
+    # data lands in [-1, 1] exactly (LibSVM-style preprocessing).
+    return np.clip(x / scale, -1.0, 1.0), y.astype(int)
+
+
+def generate(name: str, *, scale: float = 1.0, seed: int = 42) -> Dataset:
+    """Generate a Table V dataset (optionally scaled down).
+
+    ``scale`` multiplies the train/test sizes (min 20 samples so every
+    class keeps members); features and class counts are never scaled.
+    """
+    spec = SPECS_BY_NAME.get(name)
+    if spec is None:
+        raise KeyError(f"unknown dataset {name!r}; "
+                       f"choose from {sorted(SPECS_BY_NAME)}")
+    rng = np.random.default_rng(seed + sum(name.encode()) % 1000)
+    means = _class_means(rng, spec.classes, spec.features)
+    n_train = max(int(spec.training_size * scale), 20)
+    train_x, train_y = _blobs(rng, means, n_train)
+    if spec.testing_size is None:
+        # Paper: reuse (a fraction of) the training set for prediction.
+        n_test = max(n_train // 4, 10)
+        test_x, test_y = train_x[:n_test], train_y[:n_test]
+    else:
+        n_test = max(int(spec.testing_size * scale), 10)
+        test_x, test_y = _blobs(rng, means, n_test)
+    return Dataset(spec=spec, train_x=train_x, train_y=train_y,
+                   test_x=test_x, test_y=test_y)
+
+
+def generate_all(*, scale: float = 1.0, seed: int = 42) -> dict[str, Dataset]:
+    return {spec.name: generate(spec.name, scale=scale, seed=seed)
+            for spec in TABLE_V}

@@ -1,0 +1,13 @@
+"""minidb — the from-scratch SQLite analogue for case study §VI-B.
+
+A small SQL engine: tokenizer, recursive-descent parser, and an executor
+with typed tables, hash indexes (automatic on PRIMARY KEY), ORDER
+BY/LIMIT, COUNT(*), and single-level transactions.  Driven by the YCSB
+workload generator (:mod:`repro.apps.ycsb`) in the Table VI benchmark.
+"""
+
+from repro.apps.minidb.engine import Database, Table
+from repro.apps.minidb.lexer import SqlError, tokenize
+from repro.apps.minidb.parser import parse
+
+__all__ = ["Database", "SqlError", "Table", "parse", "tokenize"]

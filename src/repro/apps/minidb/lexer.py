@@ -1,0 +1,118 @@
+"""SQL tokenizer for minidb.
+
+minidb is the repo's stand-in for SQLite in case study §VI-B / Table VI:
+a small but real SQL engine (lexer → recursive-descent parser → executor
+with tables and indexes).  This module produces the token stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class SqlError(ReproError):
+    """Any SQL-level failure: syntax, unknown table/column, type clash."""
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE",
+    "SET", "DELETE", "CREATE", "TABLE", "AND", "OR", "NOT", "NULL",
+    "INTEGER", "TEXT", "REAL", "PRIMARY", "KEY", "ORDER", "BY", "ASC",
+    "DESC", "LIMIT", "COUNT", "DROP", "INDEX", "ON", "BEGIN", "COMMIT",
+    "ROLLBACK", "SUM", "AVG", "MIN", "MAX", "LIKE",
+}
+
+SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", "*",
+           ";", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # KEYWORD | IDENT | INT | FLOAT | STRING | SYMBOL | EOF
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}"
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql[i:i + 2] == "--":      # comment to EOL
+            while i < n and sql[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":                               # string literal
+            j = i + 1
+            chunks = []
+            while True:
+                if j >= n:
+                    raise SqlError(f"unterminated string at {i}")
+                if sql[j] == "'":
+                    if sql[j:j + 2] == "''":        # escaped quote
+                        chunks.append("'")
+                        j += 2
+                        continue
+                    break
+                chunks.append(sql[j])
+                j += 1
+            tokens.append(Token("STRING", "".join(chunks), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and sql[i + 1].isdigit()
+                            and _number_context(tokens)):
+            j = i + 1
+            is_float = False
+            while j < n and (sql[j].isdigit() or sql[j] == "."):
+                if sql[j] == ".":
+                    if is_float:
+                        break
+                    is_float = True
+                j += 1
+            text = sql[i:j]
+            tokens.append(Token("FLOAT" if is_float else "INT", text, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if sql.startswith(sym, i):
+                tokens.append(Token("SYMBOL", sym, i))
+                i += len(sym)
+                break
+        else:
+            raise SqlError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens
+
+
+def _number_context(tokens: list[Token]) -> bool:
+    """A leading '-' begins a number only where a value can appear."""
+    if not tokens:
+        return True
+    prev = tokens[-1]
+    return (prev.kind == "SYMBOL" and prev.value in ("(", ",", "=", "<",
+                                                     ">", "<=", ">=",
+                                                     "!=", "<>")) \
+        or (prev.kind == "KEYWORD" and prev.value in ("VALUES", "WHERE",
+                                                      "AND", "OR", "SET",
+                                                      "LIMIT"))

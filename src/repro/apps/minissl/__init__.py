@@ -1,0 +1,24 @@
+"""minissl — the from-scratch OpenSSL analogue for case study §VI-A.
+
+A TLS-shaped secure-transport library: pre-shared-key handshake with
+rollback-protected negotiation, an AES-GCM record layer, and the
+heartbeat extension carrying a faithful Heartbleed (CVE-2014-0160)
+over-read bug.  The library runs *inside* enclaves via the SDK runtime;
+which secrets the bug can leak is decided entirely by which enclave
+layout (monolithic vs nested) the application chose — see
+``repro.apps.ports.echo``.
+"""
+
+from repro.apps.minissl.client import SslClient
+from repro.apps.minissl.handshake import (ClientHello, ServerHello,
+                                          client_complete, finished_mac,
+                                          server_respond, verify_finished)
+from repro.apps.minissl.records import (CT_APPLICATION, CT_HEARTBEAT,
+                                        Record, decode_record)
+from repro.apps.minissl.session import SslSession
+
+__all__ = [
+    "CT_APPLICATION", "CT_HEARTBEAT", "ClientHello", "Record",
+    "ServerHello", "SslClient", "SslSession", "client_complete",
+    "decode_record", "finished_mac", "server_respond", "verify_finished",
+]

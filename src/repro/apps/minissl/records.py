@@ -1,0 +1,104 @@
+"""TLS-like record layer for minissl.
+
+minissl is this repo's stand-in for the OpenSSL library of case study
+§VI-A: a small but functional secure-transport library with a handshake,
+an encrypted record layer, and the heartbeat extension carrying the
+Heartbleed bug.  The record format (type, version, length, payload)
+follows the TLS shape closely enough that the heartbeat payload-length
+confusion arises exactly as it did in OpenSSL.
+
+Record format (big-endian, like TLS)::
+
+    +------+---------+---------+------------------+
+    | type | version | length  | payload          |
+    | 1 B  | 2 B     | 2 B     | `length` bytes   |
+    +------+---------+---------+------------------+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ChannelError
+
+CT_HANDSHAKE = 0x16
+CT_APPLICATION = 0x17
+CT_HEARTBEAT = 0x18
+CT_ALERT = 0x15
+
+VERSION_10 = 0x0301   # "TLS 1.0" — legacy, used by rollback tests
+VERSION_12 = 0x0303   # "TLS 1.2" — preferred
+
+SUPPORTED_VERSIONS = (VERSION_12, VERSION_10)
+
+MAX_RECORD_PAYLOAD = 1 << 14      # 16 KiB of plaintext, like TLS
+#: Ciphertext may exceed the plaintext cap by the AEAD expansion
+#: (TLS 1.2 allows 2^14 + 2048; a tag + padding allowance suffices here).
+MAX_CIPHERTEXT_EXPANSION = 256
+
+HEADER_LEN = 5
+
+
+@dataclass(frozen=True)
+class Record:
+    content_type: int
+    version: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        if len(self.payload) > MAX_RECORD_PAYLOAD \
+                + MAX_CIPHERTEXT_EXPANSION:
+            raise ChannelError("record payload exceeds protocol maximum")
+        return (bytes([self.content_type])
+                + self.version.to_bytes(2, "big")
+                + len(self.payload).to_bytes(2, "big")
+                + self.payload)
+
+
+def decode_record(data: bytes) -> tuple[Record, bytes]:
+    """Parse one record off the front of ``data``; returns (record, rest)."""
+    if len(data) < HEADER_LEN:
+        raise ChannelError("truncated record header")
+    content_type = data[0]
+    version = int.from_bytes(data[1:3], "big")
+    length = int.from_bytes(data[3:5], "big")
+    if len(data) < HEADER_LEN + length:
+        raise ChannelError("truncated record payload")
+    payload = data[HEADER_LEN:HEADER_LEN + length]
+    return Record(content_type, version, payload), data[HEADER_LEN + length:]
+
+
+# ---------------------------------------------------------------------------
+# Heartbeat message encoding (RFC 6520 shape)
+# ---------------------------------------------------------------------------
+
+HB_REQUEST = 0x01
+HB_RESPONSE = 0x02
+HB_PAD = 16
+
+
+def encode_heartbeat(message_type: int, payload: bytes,
+                     claimed_length: int | None = None) -> bytes:
+    """Encode a heartbeat message.
+
+    ``claimed_length`` is the on-the-wire payload_length field.  An honest
+    peer sends ``len(payload)``; the Heartbleed attacker lies and sends a
+    larger value (the library will "return" that many bytes).
+    """
+    if claimed_length is None:
+        claimed_length = len(payload)
+    return (bytes([message_type])
+            + claimed_length.to_bytes(2, "big")
+            + payload + bytes(HB_PAD))
+
+
+def decode_heartbeat(data: bytes) -> tuple[int, int, bytes]:
+    """Returns (message_type, claimed_payload_length, rest_of_message).
+
+    NOTE: deliberately does *not* check claimed length against the actual
+    message size — that missing check in the *consumer* is the bug, and
+    patched implementations add it there (see HeartbeatHandler).
+    """
+    if len(data) < 3:
+        raise ChannelError("runt heartbeat message")
+    return data[0], int.from_bytes(data[1:3], "big"), data[3:]

@@ -1,0 +1,102 @@
+"""minissl session tickets: resumption, alerts, and key update.
+
+Rounds out the transport library with the session-management features a
+real TLS stack carries (and which live in the *library's* protection
+domain — more state for the confinement case study to protect):
+
+* **Session tickets** — after a full handshake the server issues a
+  ticket: the session's resumption secret sealed under a server-side
+  ticket key (STEK).  A returning client presents the ticket and both
+  sides derive fresh traffic keys from the resumption secret + new
+  nonces, skipping the full negotiation.
+* **Alerts** — typed fatal/warning notices in the TLS shape.
+* **Key update** — either side can ratchet its write key forward
+  (HKDF of the old key), bounding the blast radius of a key compromise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.minissl.handshake import HandshakeResult
+from repro.crypto.gcm import AesGcm
+from repro.crypto.kdf import hkdf
+from repro.errors import ChannelError, CryptoError
+
+AL_WARNING = 0x01
+AL_FATAL = 0x02
+
+ALERT_CLOSE_NOTIFY = 0
+ALERT_BAD_RECORD_MAC = 20
+ALERT_HANDSHAKE_FAILURE = 40
+ALERT_UNKNOWN_TICKET = 45
+
+
+@dataclass(frozen=True)
+class Alert:
+    level: int
+    description: int
+
+    def encode(self) -> bytes:
+        return bytes([self.level, self.description])
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Alert":
+        if len(data) != 2:
+            raise ChannelError("malformed alert")
+        return cls(level=data[0], description=data[1])
+
+    @property
+    def fatal(self) -> bool:
+        return self.level == AL_FATAL
+
+
+class TicketIssuer:
+    """Server-side session-ticket machinery (lives in the library's
+    enclave; the STEK never leaves it)."""
+
+    def __init__(self, stek: bytes) -> None:
+        self._gcm = AesGcm(hkdf(stek, b"stek")[:16])
+        self._counter = 0
+
+    def issue(self, keys: HandshakeResult) -> bytes:
+        """Seal the session's resumption secret into a ticket."""
+        resumption_secret = hkdf(keys.finished_key, b"resumption")
+        nonce = self._counter.to_bytes(12, "little")
+        self._counter += 1
+        body = (keys.version.to_bytes(2, "big")
+                + keys.cipher.encode().ljust(16, b"\x00")
+                + resumption_secret)
+        return nonce + self._gcm.seal(nonce, body)
+
+    def redeem(self, ticket: bytes) -> tuple[int, str, bytes]:
+        """Open a presented ticket; returns (version, cipher, secret)."""
+        if len(ticket) < 12 + 16:
+            raise ChannelError("runt session ticket")
+        try:
+            body = self._gcm.open(ticket[:12], ticket[12:])
+        except CryptoError as exc:
+            raise ChannelError("session ticket rejected") from exc
+        version = int.from_bytes(body[:2], "big")
+        cipher = body[2:18].rstrip(b"\x00").decode()
+        return version, cipher, body[18:]
+
+
+def resume_keys(resumption_secret: bytes, client_nonce: bytes,
+                server_nonce: bytes, version: int,
+                cipher: str) -> HandshakeResult:
+    """Both sides derive fresh traffic keys for a resumed session."""
+    transcript = b"resumed" + client_nonce + server_nonce
+    base = hkdf(resumption_secret, b"minissl-resume", transcript,
+                version.to_bytes(2, "big"), cipher.encode())
+    return HandshakeResult(
+        version=version, cipher=cipher,
+        client_write_key=hkdf(base, b"client-write")[:16],
+        server_write_key=hkdf(base, b"server-write")[:16],
+        finished_key=hkdf(base, b"finished"),
+        transcript=transcript)
+
+
+def ratchet_key(write_key: bytes) -> bytes:
+    """Key update: forward-secure ratchet of one direction's key."""
+    return hkdf(write_key, b"key-update")[:16]

@@ -1,0 +1,140 @@
+"""minissl session: the in-enclave library state and the Heartbleed bug.
+
+An :class:`SslSession` is the library object that lives *inside* an
+enclave.  All of its security-relevant buffers are allocated on the
+enclave heap through the :class:`~repro.sdk.runtime.EnclaveContext`, so
+what the heartbeat over-read can reach is decided by the real memory
+layout of the enclave the library runs in — the whole point of case
+study §VI-A:
+
+* **monolithic port**: the library and the application share one enclave
+  (and one heap); the over-read reaches the application's secrets.
+* **nested port**: the library runs in the outer enclave; the
+  application's secrets live on the *inner* enclave's heap, which the
+  outer enclave physically cannot read — same attack, no leak.
+
+The bug (mirroring CVE-2014-0160): :meth:`handle_heartbeat` copies
+``claimed_length`` bytes *from the request buffer* into the response,
+trusting the attacker-controlled length field instead of the actual
+received size.  ``patched=True`` adds the missing bounds check (the
+upstream fix), used by tests to show the difference between fixing the
+bug and confining it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.minissl import records
+from repro.apps.minissl.handshake import (HandshakeResult, finished_mac,
+                                          server_respond, verify_finished)
+from repro.crypto.gcm import AesGcm
+from repro.errors import ChannelError
+from repro.sdk.runtime import EnclaveContext
+
+
+#: Size of the per-session receive staging buffer the library allocates
+#: at accept time.  Real OpenSSL similarly owns long-lived connection
+#: buffers allocated *before* most application data — which is why the
+#: heartbeat over-read (which walks to HIGHER addresses) reaches
+#: application allocations made later.
+RECV_BUF_BYTES = 1024
+
+
+@dataclass
+class SslSession:
+    """Server-side session state (one per connection)."""
+
+    psk: bytes
+    server_nonce: bytes
+    patched: bool = False
+    keys: HandshakeResult | None = None
+    recv_buf: int = 0            # enclave-heap address of the staging buffer
+    _recv_seq: int = 0
+    _send_seq: int = 0
+
+    # ---------------------------------------------------------------- setup
+    def accept(self, ctx: EnclaveContext, client_hello: bytes) -> bytes:
+        """Run the server half of the handshake; returns ServerHello ||
+        Finished.  Allocates the session's receive buffer on the heap of
+        the enclave the library runs in."""
+        server_hello, self.keys = server_respond(
+            self.psk, client_hello, self.server_nonce)
+        if self.recv_buf == 0:
+            self.recv_buf = ctx.malloc(RECV_BUF_BYTES)
+        ctx.host.machine.cost.charge_work(200)  # handshake crypto
+        return server_hello + finished_mac(self.keys, "server")
+
+    def client_finished(self, tag: bytes) -> None:
+        if self.keys is None:
+            raise ChannelError("handshake not complete")
+        if not verify_finished(self.keys, "client", tag):
+            raise ChannelError("client Finished MAC invalid "
+                               "(possible rollback attack)")
+
+    # ------------------------------------------------------------- records
+    def _require_keys(self) -> HandshakeResult:
+        if self.keys is None:
+            raise ChannelError("session not established")
+        return self.keys
+
+    def open_record(self, ctx: EnclaveContext, raw: bytes) -> records.Record:
+        """Decrypt one inbound record."""
+        keys = self._require_keys()
+        record, rest = records.decode_record(raw)
+        if rest:
+            raise ChannelError("trailing bytes after record")
+        gcm = AesGcm(keys.client_write_key)
+        nonce = self._recv_seq.to_bytes(12, "big")
+        self._recv_seq += 1
+        plaintext = gcm.open(nonce, record.payload)
+        ctx.host.machine.cost.charge_gcm(len(plaintext))
+        return records.Record(record.content_type, record.version,
+                              plaintext)
+
+    def seal_record(self, ctx: EnclaveContext, content_type: int,
+                    plaintext: bytes) -> bytes:
+        keys = self._require_keys()
+        gcm = AesGcm(keys.server_write_key)
+        nonce = self._send_seq.to_bytes(12, "big")
+        self._send_seq += 1
+        sealed = gcm.seal(nonce, plaintext)
+        ctx.host.machine.cost.charge_gcm(len(plaintext))
+        return records.Record(content_type, keys.version, sealed).encode()
+
+    # ------------------------------------------------------------ heartbeat
+    def handle_heartbeat(self, ctx: EnclaveContext,
+                         message: bytes) -> bytes:
+        """Process a heartbeat request — CONTAINS THE HEARTBLEED BUG.
+
+        The request payload is staged in a heap buffer sized by the
+        *actual* data received; the response then reads
+        ``claimed_length`` bytes starting at that buffer.  When the
+        attacker claims more than they sent, the read walks off the end
+        of the buffer into whatever the enclave heap holds next.
+        """
+        message_type, claimed_length, payload_and_pad = \
+            records.decode_heartbeat(message)
+        if message_type != records.HB_REQUEST:
+            raise ChannelError("not a heartbeat request")
+        actual_len = max(len(payload_and_pad) - records.HB_PAD, 0)
+        payload = payload_and_pad[:actual_len]
+
+        if self.patched and claimed_length > actual_len:
+            # The upstream fix: silently discard per RFC 6520.
+            return b""
+        if self.recv_buf == 0:
+            # Library staging buffer, allocated on the heap of whichever
+            # enclave the *library* runs in (the outer one when nested).
+            self.recv_buf = ctx.malloc(RECV_BUF_BYTES)
+
+        # Stage the request payload in the session's receive buffer.
+        if payload:
+            ctx.write(self.recv_buf, payload)
+        # THE BUG: read back `claimed_length` bytes, trusting the wire
+        # field.  The over-read beyond `actual_len` returns whatever the
+        # enclave heap holds above the receive buffer.
+        echoed = ctx.read(self.recv_buf,
+                          max(claimed_length, 1))[:claimed_length]
+        return records.encode_heartbeat(records.HB_RESPONSE, echoed,
+                                        claimed_length=len(echoed))

@@ -1,0 +1,18 @@
+"""minisvm — the from-scratch LibSVM analogue for case study §VI-B.
+
+C-SVC with linear and RBF kernels, trained by simplified SMO; multi-class
+via one-vs-one voting.  The ``svm_train`` / ``svm_predict`` pair mirrors
+the LibSVM tools the paper ports to enclaves (Table III, Fig. 9).
+"""
+
+from repro.apps.minisvm.kernel import (SvmError, linear_kernel, make_kernel,
+                                       rbf_kernel)
+from repro.apps.minisvm.scale import FeatureScaler, svm_scale
+from repro.apps.minisvm.smo import BinaryModel, train_binary
+from repro.apps.minisvm.svc import SvcModel, svm_predict, svm_train
+
+__all__ = [
+    "BinaryModel", "FeatureScaler", "SvcModel", "SvmError",
+    "linear_kernel", "make_kernel", "rbf_kernel", "svm_predict",
+    "svm_scale", "svm_train", "train_binary",
+]

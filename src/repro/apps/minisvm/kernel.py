@@ -1,0 +1,34 @@
+"""SVM kernel functions for minisvm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class SvmError(ReproError):
+    """minisvm usage or numerical failure."""
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """K(x, y) = x·y for row matrices ``a`` (n×d) and ``b`` (m×d)."""
+    return a @ b.T
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
+    """K(x, y) = exp(-gamma ||x-y||^2)."""
+    a_sq = np.sum(a * a, axis=1)[:, None]
+    b_sq = np.sum(b * b, axis=1)[None, :]
+    dist = a_sq + b_sq - 2.0 * (a @ b.T)
+    np.maximum(dist, 0.0, out=dist)
+    return np.exp(-gamma * dist)
+
+
+def make_kernel(name: str, gamma: float = 0.1):
+    """Returns K(a, b) for the named kernel."""
+    if name == "linear":
+        return linear_kernel
+    if name == "rbf":
+        return lambda a, b: rbf_kernel(a, b, gamma)
+    raise SvmError(f"unknown kernel {name!r}")

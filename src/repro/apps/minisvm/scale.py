@@ -1,0 +1,65 @@
+"""Feature scaling — the ``svm-scale`` companion tool.
+
+LibSVM ships ``svm-scale`` alongside ``svm-train``/``svm-predict``; it
+linearly rescales every feature into a target range (default [-1, 1])
+using per-feature bounds learned from the training set, then applies the
+*same* bounds to test data — scaling train and test independently is the
+classic leakage/skew bug, which :class:`FeatureScaler` makes impossible
+by construction (fit once, transform many).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.minisvm.kernel import SvmError
+
+
+@dataclass
+class FeatureScaler:
+    lower: float = -1.0
+    upper: float = 1.0
+    feature_min: np.ndarray | None = None
+    feature_max: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "FeatureScaler":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or not len(x):
+            raise SvmError("fit expects a non-empty (n, d) matrix")
+        if self.lower >= self.upper:
+            raise SvmError("lower bound must be below upper bound")
+        self.feature_min = x.min(axis=0)
+        self.feature_max = x.max(axis=0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.feature_min is None or self.feature_max is None:
+            raise SvmError("scaler not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[1] != len(self.feature_min):
+            raise SvmError(
+                f"expected {len(self.feature_min)} features, "
+                f"got {x.shape[1]}")
+        span = self.feature_max - self.feature_min
+        # Constant features map to the middle of the target range, as
+        # svm-scale does (they carry no information either way).
+        safe_span = np.where(span == 0.0, 1.0, span)
+        unit = (x - self.feature_min) / safe_span
+        unit = np.where(span == 0.0, 0.5, unit)
+        return self.lower + unit * (self.upper - self.lower)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+def svm_scale(train_x: np.ndarray, test_x: np.ndarray | None = None,
+              lower: float = -1.0, upper: float = 1.0):
+    """One-shot helper mirroring the svm-scale CLI: returns the scaled
+    training matrix (and test matrix, scaled with the TRAINING bounds)."""
+    scaler = FeatureScaler(lower=lower, upper=upper)
+    scaled_train = scaler.fit_transform(train_x)
+    if test_x is None:
+        return scaled_train
+    return scaled_train, scaler.transform(test_x)

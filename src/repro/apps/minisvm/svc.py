@@ -1,0 +1,66 @@
+"""Multi-class C-SVC (one-vs-one) — the LibSVM-shaped public API.
+
+LibSVM trains k(k-1)/2 binary classifiers and predicts by majority vote;
+``SvcModel`` does the same over :mod:`repro.apps.minisvm.smo`, and the
+module-level :func:`svm_train` / :func:`svm_predict` mirror the
+``svm-train`` / ``svm-predict`` command pair the paper ports (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.apps.minisvm.kernel import SvmError
+from repro.apps.minisvm.smo import BinaryModel, train_binary
+
+
+@dataclass
+class SvcModel:
+    classes: tuple[int, ...]
+    #: (class_a, class_b) -> binary model trained with a=+1, b=-1
+    machines: dict[tuple[int, int], BinaryModel]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        votes = np.zeros((len(x), len(self.classes)), dtype=int)
+        class_pos = {c: i for i, c in enumerate(self.classes)}
+        for (a, b), model in self.machines.items():
+            outcome = model.predict(x)
+            votes[outcome == 1, class_pos[a]] += 1
+            votes[outcome == -1, class_pos[b]] += 1
+        return np.array([self.classes[i] for i in votes.argmax(axis=1)])
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+    @property
+    def total_support_vectors(self) -> int:
+        return sum(len(m.support_vectors) for m in self.machines.values())
+
+
+def svm_train(x: np.ndarray, y: np.ndarray, *, c: float = 1.0,
+              kernel: str = "rbf", gamma: float = 0.1,
+              seed: int = 0, max_iterations: int = 10_000) -> SvcModel:
+    """Train a one-vs-one multi-class C-SVC."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y)
+    classes = tuple(sorted(int(v) for v in np.unique(y)))
+    if len(classes) < 2:
+        raise SvmError("need at least two classes")
+    machines = {}
+    for a, b in combinations(classes, 2):
+        mask = (y == a) | (y == b)
+        sub_x = x[mask]
+        sub_y = np.where(y[mask] == a, 1.0, -1.0)
+        machines[(a, b)] = train_binary(
+            sub_x, sub_y, c=c, kernel=kernel, gamma=gamma, seed=seed,
+            max_iterations=max_iterations)
+    return SvcModel(classes=classes, machines=machines)
+
+
+def svm_predict(model: SvcModel, x: np.ndarray) -> np.ndarray:
+    """LibSVM-style free function over a trained model."""
+    return model.predict(x)

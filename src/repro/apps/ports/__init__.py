@@ -1,0 +1,3 @@
+"""Enclave deployments of the case-study applications, each in a
+monolithic (baseline SGX) and a nested layout.  The per-module diff
+between the two layouts is what Table III counts as porting effort."""

@@ -1,0 +1,20 @@
+"""Attack drivers used by the security analysis (§VII, Table VII):
+Heartbleed against both echo layouts, the Panoply-style OS message-drop
+attack, and rogue-enclave / hostile-OS attempts on the nested model."""
+
+from repro.attacks.heartbleed import HeartbleedOutcome, run_heartbleed
+from repro.attacks.ipc_drop import (CertCheckOutcome, run_over_nested_ring,
+                                    run_over_os_ipc)
+from repro.attacks.rogue import (AttackResult, attempt_cross_inner_read,
+                                 attempt_fake_edl_call,
+                                 attempt_os_read_ring,
+                                 attempt_outer_read_inner,
+                                 attempt_unauthorized_join)
+
+__all__ = [
+    "AttackResult", "CertCheckOutcome", "HeartbleedOutcome",
+    "attempt_cross_inner_read", "attempt_fake_edl_call",
+    "attempt_os_read_ring", "attempt_outer_read_inner",
+    "attempt_unauthorized_join", "run_heartbleed",
+    "run_over_nested_ring", "run_over_os_ipc",
+]

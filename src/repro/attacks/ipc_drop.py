@@ -1,0 +1,151 @@
+"""The Panoply-style OS message-drop attack (paper §VII-B).
+
+Scenario: a target application enclave asks a trusted *certificate
+manager* enclave to verify an SSL certificate.  The application
+registers the check with an initialisation message and proceeds once it
+has seen no explicit failure.  A malicious OS that carries the channel
+silently drops the initialisation message: the callback never runs, no
+error surfaces, and the application accepts an invalid certificate.
+
+Two transports implement the same protocol:
+
+* ``run_over_os_ipc``  — baseline: GCM-sealed messages over OS IPC.
+  Sealing stops forgery/replay, but the drop is silent; the attack
+  succeeds.
+* ``run_over_nested_ring`` — the application and the certificate
+  manager are peer inner enclaves exchanging messages through their
+  shared outer enclave's ring.  The OS never carries the bytes, so it
+  has nothing to drop; the attack has no purchase.
+
+Both runners return a :class:`CertCheckOutcome` stating whether the
+verification actually executed and what the application concluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.channel import SharedRing
+from repro.os.malicious import DroppingIpcRouter, install_router
+from repro.sdk.secure_channel import GcmChannel
+
+
+@dataclass
+class CertCheckOutcome:
+    check_executed: bool        # did the certificate manager ever run?
+    app_accepted: bool          # did the application proceed?
+    explicit_failure_seen: bool
+
+    @property
+    def attack_succeeded(self) -> bool:
+        """The application accepted without the check having run."""
+        return self.app_accepted and not self.check_executed
+
+
+#: A certificate that must fail verification (self-signed by an
+#: untrusted party); accepting it means the attack worked.
+BOGUS_CERT = b"CERT:subject=evil.example;signer=evil.example"
+VALID_SIGNERS = (b"trust-root.example",)
+
+
+def _verify_certificate(cert: bytes) -> bool:
+    """The certificate manager's check (runs inside its enclave)."""
+    try:
+        fields = dict(item.split(b"=", 1)
+                      for item in cert.split(b":", 1)[1].split(b";"))
+    except Exception:
+        return False
+    return fields.get(b"signer") in VALID_SIGNERS
+
+
+class CertManagerProtocol:
+    """The application-side protocol state machine, transport-agnostic.
+
+    Mirrors the attacked OpenSSL pattern: registration is fire-and-
+    forget; only an *explicit* failure response stops the application.
+    """
+
+    def __init__(self, send, try_recv):
+        self._send = send
+        self._try_recv = try_recv
+
+    def request_check(self, cert: bytes) -> CertCheckOutcome:
+        self._send(b"INIT-CHECK:" + cert)
+        # The application polls briefly for a verdict; silence is
+        # (mis)interpreted as "no objection" — the flawed-but-common
+        # pattern the paper describes.
+        explicit_failure = False
+        executed = False
+        for _ in range(4):
+            response = self._try_recv()
+            if response is None:
+                continue
+            executed = True
+            if response == b"CHECK-FAILED":
+                explicit_failure = True
+        return CertCheckOutcome(
+            check_executed=executed,
+            app_accepted=not explicit_failure,
+            explicit_failure_seen=explicit_failure)
+
+
+def _manager_service(recv, send) -> int:
+    """Certificate-manager loop body: drain requests, answer verdicts.
+    Returns how many checks ran."""
+    executed = 0
+    while True:
+        request = recv()
+        if request is None:
+            return executed
+        if request.startswith(b"INIT-CHECK:"):
+            executed += 1
+            cert = request[len(b"INIT-CHECK:"):]
+            send(b"CHECK-OK" if _verify_certificate(cert)
+                 else b"CHECK-FAILED")
+
+
+def run_over_os_ipc(machine, kernel, *, os_drops: bool) -> CertCheckOutcome:
+    """Baseline transport: sealed messages through OS IPC."""
+    if os_drops:
+        router = DroppingIpcRouter(
+            kernel, lambda port, msg: port.endswith(":to-mgr"))
+        install_router(kernel, router)
+    kernel.ipc.create_port("cert:to-mgr")
+    kernel.ipc.create_port("cert:to-app")
+    key = b"cert-channel-key"
+    app_tx = GcmChannel(machine, kernel.ipc, "cert:to-mgr", key)
+    app_rx = GcmChannel(machine, kernel.ipc, "cert:to-app", key)
+    mgr_rx = GcmChannel(machine, kernel.ipc, "cert:to-mgr", key)
+    mgr_tx = GcmChannel(machine, kernel.ipc, "cert:to-app", key)
+
+    protocol = CertManagerProtocol(app_tx.send, app_rx.try_recv)
+    # Interleave: app sends, manager drains, app polls.
+    protocol._send(b"INIT-CHECK:" + BOGUS_CERT)
+    executed = _manager_service(mgr_rx.try_recv, mgr_tx.send)
+    explicit_failure = False
+    for _ in range(4):
+        response = app_rx.try_recv()
+        if response == b"CHECK-FAILED":
+            explicit_failure = True
+    return CertCheckOutcome(check_executed=executed > 0,
+                            app_accepted=not explicit_failure,
+                            explicit_failure_seen=explicit_failure)
+
+
+def run_over_nested_ring(machine, app_core, mgr_core,
+                         ring_to_mgr: SharedRing,
+                         ring_to_app: SharedRing) -> CertCheckOutcome:
+    """Nested transport: both parties are inner enclaves; the rings live
+    in their shared outer enclave.  The OS is not on the path."""
+    ring_to_mgr.send(app_core, b"INIT-CHECK:" + BOGUS_CERT)
+    executed = _manager_service(
+        lambda: ring_to_mgr.try_recv(mgr_core),
+        lambda verdict: ring_to_app.send(mgr_core, verdict))
+    explicit_failure = False
+    for _ in range(4):
+        response = ring_to_app.try_recv(app_core)
+        if response == b"CHECK-FAILED":
+            explicit_failure = True
+    return CertCheckOutcome(check_executed=executed > 0,
+                            app_accepted=not explicit_failure,
+                            explicit_failure_seen=explicit_failure)

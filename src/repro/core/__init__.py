@@ -1,0 +1,29 @@
+"""The paper's primary contribution: the nested-enclave extension.
+
+Layers on the baseline SGX substrate (:mod:`repro.sgx`):
+
+* :class:`NestedValidator` — the Fig. 6 access-validation automaton.
+* :func:`nasso` — inner↔outer association with mutual measurement checks.
+* :func:`neenter` / :func:`neexit` — direct outer↔inner transitions.
+* :func:`nereport` — attestation of the association topology.
+* :class:`SharedRing` — the fast inner↔inner channel via the outer enclave.
+* :func:`audit_machine` — the §VII-A security invariants as predicates.
+
+A machine with nested support is simply
+``Machine(validator_cls=NestedValidator)``; a baseline SGX machine uses
+the default validator and will fault on any nested access, which is how
+the ablation benches isolate the extension's cost.
+"""
+
+from repro.core.access import NestedValidator
+from repro.core.association import disassociate, nasso
+from repro.core.channel import SharedRing
+from repro.core.invariants import assert_invariants, audit_machine
+from repro.core.nested_isa import (NestedReport, neenter, neexit, nereport,
+                                   verify_nested_report)
+
+__all__ = [
+    "NestedValidator", "NestedReport", "SharedRing", "assert_invariants",
+    "audit_machine", "disassociate", "nasso", "neenter", "neexit",
+    "nereport", "verify_nested_report",
+]

@@ -1,0 +1,111 @@
+"""Inner↔inner communication through the shared outer enclave (§VI-C).
+
+Peer inner enclaves cannot touch each other's memory, but both can touch
+their common outer enclave's memory — so a ring buffer placed in the outer
+enclave's heap is a communication channel that is (a) invisible to the OS
+and to physical attackers (it lives in EPC, behind the MEE) and (b) free
+of software encryption (the "MEE" series of Fig. 11).
+
+:class:`SharedRing` is a single-producer single-consumer byte ring with a
+tiny header, operated exclusively through a :class:`~repro.sgx.cpu.Core`'s
+validated ``read``/``write`` path — every byte moved pays the real
+simulated memory-system cost (LLC hits for cache-resident working sets,
+MEE lines otherwise), and every access is subject to the Fig. 6 automaton,
+so a rogue enclave that merely *holds a reference* to the ring still
+cannot use it.
+
+Layout at ``base`` (all little-endian u64): head, tail, capacity, then
+``capacity`` data bytes at ``base + 64``.  Messages are framed with a u32
+length.  The paper's usage has the channel set up by trusted code the
+inner enclaves load into the outer enclave; creation therefore runs on a
+core executing the *outer* enclave (or any of its inners).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ChannelError
+from repro.sgx.cpu import Core
+
+_HEAD_OFF = 0
+_TAIL_OFF = 8
+_CAP_OFF = 16
+_DATA_OFF = 64
+_FRAME_HDR = 4
+
+
+class SharedRing:
+    """SPSC byte ring in (outer-)enclave memory."""
+
+    def __init__(self, base: int, capacity: int) -> None:
+        if capacity <= _FRAME_HDR:
+            raise ChannelError("ring too small")
+        self.base = base
+        self.capacity = capacity
+
+    # -- setup ------------------------------------------------------------
+    def initialise(self, core: Core) -> None:
+        core.write_u64(self.base + _HEAD_OFF, 0)
+        core.write_u64(self.base + _TAIL_OFF, 0)
+        core.write_u64(self.base + _CAP_OFF, self.capacity)
+
+    # -- internals ----------------------------------------------------------
+    def _load(self, core: Core) -> tuple[int, int]:
+        head = core.read_u64(self.base + _HEAD_OFF)
+        tail = core.read_u64(self.base + _TAIL_OFF)
+        return head, tail
+
+    def _used(self, head: int, tail: int) -> int:
+        return tail - head
+
+    def _write_wrapped(self, core: Core, pos: int, data: bytes) -> None:
+        off = pos % self.capacity
+        first = min(len(data), self.capacity - off)
+        core.write(self.base + _DATA_OFF + off, data[:first])
+        if first < len(data):
+            core.write(self.base + _DATA_OFF, data[first:])
+
+    def _read_wrapped(self, core: Core, pos: int, size: int) -> bytes:
+        off = pos % self.capacity
+        first = min(size, self.capacity - off)
+        data = core.read(self.base + _DATA_OFF + off, first)
+        if first < size:
+            data += core.read(self.base + _DATA_OFF, size - first)
+        return data
+
+    # -- API -----------------------------------------------------------------
+    def try_send(self, core: Core, message: bytes) -> bool:
+        """Append one framed message; False if the ring lacks space."""
+        need = _FRAME_HDR + len(message)
+        if need > self.capacity:
+            raise ChannelError(
+                f"message of {len(message)} bytes exceeds ring capacity")
+        head, tail = self._load(core)
+        if self._used(head, tail) + need > self.capacity:
+            return False
+        frame = len(message).to_bytes(_FRAME_HDR, "little") + message
+        self._write_wrapped(core, tail, frame)
+        core.write_u64(self.base + _TAIL_OFF, tail + need)
+        return True
+
+    def send(self, core: Core, message: bytes) -> None:
+        if not self.try_send(core, message):
+            raise ChannelError("ring full")
+
+    def try_recv(self, core: Core) -> bytes | None:
+        """Pop one message; None if the ring is empty."""
+        head, tail = self._load(core)
+        if self._used(head, tail) == 0:
+            return None
+        hdr = self._read_wrapped(core, head, _FRAME_HDR)
+        length = int.from_bytes(hdr, "little")
+        if self._used(head, tail) < _FRAME_HDR + length:
+            raise ChannelError("truncated frame in ring")
+        payload = self._read_wrapped(core, head + _FRAME_HDR, length)
+        core.write_u64(self.base + _HEAD_OFF, head + _FRAME_HDR + length)
+        return payload
+
+    def recv(self, core: Core) -> bytes:
+        message = self.try_recv(core)
+        if message is None:
+            raise ChannelError("ring empty")
+        return message

@@ -1,0 +1,115 @@
+"""The four security invariants of paper §VII-A as executable predicates.
+
+The invariants constrain what a core's TLB may contain in each mode.  The
+access path enforces them *by construction*; these functions re-derive
+them independently from raw machine state so property-based tests (and the
+ablation showing why the rules matter) can drive random instruction
+sequences and then audit every core:
+
+1. Not in enclave mode → no TLB entry maps into the PRM.
+2. In enclave mode, VA outside the enclave's ELRANGE → the entry must not
+   map into the PRM … **unless** (nested refinement) the VA falls inside
+   an associated outer enclave's ELRANGE, which invariant 4 governs.
+3. In enclave mode, VA inside the enclave's ELRANGE → the EPCM entry of
+   the target page names this enclave and records this VA.
+4. (Nested, new) In enclave mode, VA inside an *outer* enclave's ELRANGE
+   → the EPCM entry names that outer enclave and records this VA.
+
+``audit_machine`` returns a list of human-readable violations (empty =
+all invariants hold), rather than raising, so tests can report every
+violation a sequence produced at once.
+"""
+
+from __future__ import annotations
+
+from repro.sgx.constants import PAGE_SHIFT, PAGE_SIZE
+from repro.sgx.cpu import Core
+from repro.sgx.machine import Machine
+
+
+def _entry_paddr(entry) -> int:
+    return entry.pfn << PAGE_SHIFT
+
+
+def _audit_core(machine: Machine, core: Core) -> list[str]:
+    violations: list[str] = []
+    in_enclave = core.in_enclave_mode
+    secs = machine.enclave(core.current_eid) if in_enclave else None
+    outer_chain = []
+    if secs is not None:
+        outer_chain = [machine.enclave(eid) for eid in secs.outer_eids]
+
+    for entry in core.tlb.entries():
+        vaddr = entry.vpn << PAGE_SHIFT
+        paddr = _entry_paddr(entry)
+        maps_prm = machine.phys.in_prm(paddr)
+
+        if not in_enclave:
+            # Invariant 1.
+            if maps_prm:
+                violations.append(
+                    f"core{core.core_id}: non-enclave TLB entry "
+                    f"{vaddr:#x}->{paddr:#x} maps into PRM")
+            continue
+
+        assert secs is not None
+        if secs.contains_vaddr(vaddr):
+            # Invariant 3.
+            if not maps_prm:
+                violations.append(
+                    f"core{core.core_id}: ELRANGE VA {vaddr:#x} maps "
+                    f"outside PRM")
+                continue
+            epcm = machine.epcm.entry_for_addr(paddr)
+            if not epcm.valid or epcm.eid != secs.eid:
+                violations.append(
+                    f"core{core.core_id}: ELRANGE VA {vaddr:#x} maps a "
+                    f"page not owned by the enclave")
+            elif epcm.vaddr != (vaddr & ~(PAGE_SIZE - 1)):
+                violations.append(
+                    f"core{core.core_id}: ELRANGE VA {vaddr:#x} maps an "
+                    f"EPC page recorded at {epcm.vaddr:#x}")
+            continue
+
+        owning_outer = next(
+            (o for o in outer_chain if o.contains_vaddr(vaddr)), None)
+        if owning_outer is not None:
+            # Invariant 4 (the nested addition).
+            if not maps_prm:
+                violations.append(
+                    f"core{core.core_id}: outer-ELRANGE VA {vaddr:#x} "
+                    f"maps outside PRM")
+                continue
+            epcm = machine.epcm.entry_for_addr(paddr)
+            if not epcm.valid or epcm.eid != owning_outer.eid:
+                violations.append(
+                    f"core{core.core_id}: outer-ELRANGE VA {vaddr:#x} "
+                    f"maps a page not owned by the outer enclave")
+            elif epcm.vaddr != (vaddr & ~(PAGE_SIZE - 1)):
+                violations.append(
+                    f"core{core.core_id}: outer-ELRANGE VA {vaddr:#x} "
+                    f"maps an EPC page recorded at {epcm.vaddr:#x}")
+            continue
+
+        # Invariant 2: VA belongs to no associated ELRANGE.
+        if maps_prm:
+            violations.append(
+                f"core{core.core_id}: VA {vaddr:#x} outside every "
+                f"associated ELRANGE maps into PRM")
+    return violations
+
+
+def audit_machine(machine: Machine) -> list[str]:
+    """Check invariants 1–4 on every core. Empty list = machine is clean."""
+    violations: list[str] = []
+    for core in machine.cores:
+        violations.extend(_audit_core(machine, core))
+    return violations
+
+
+def assert_invariants(machine: Machine) -> None:
+    """Raise AssertionError with every violation if the machine is dirty."""
+    violations = audit_machine(machine)
+    if violations:
+        raise AssertionError(
+            "security invariant violations:\n  " + "\n  ".join(violations))

@@ -1,0 +1,17 @@
+"""From-scratch crypto substrate: AES, AES-GCM, RSA signatures, KDF.
+
+These exist because the baseline (monolithic-enclave) communication path
+the paper compares against *must* run software authenticated encryption,
+and because enclave images are signed artifacts.  No external crypto
+dependency is used anywhere in the package.
+"""
+
+from repro.crypto.aes import Aes
+from repro.crypto.gcm import AesGcm
+from repro.crypto.kdf import hkdf, mac, mac_verify, sha256
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+
+__all__ = [
+    "Aes", "AesGcm", "RsaPrivateKey", "RsaPublicKey", "generate_keypair",
+    "hkdf", "mac", "mac_verify", "sha256",
+]

@@ -1,0 +1,35 @@
+"""Key derivation and MAC helpers.
+
+EGETKEY on real SGX derives keys (seal key, report key, …) from fused
+hardware secrets plus enclave identity (MRENCLAVE / MRSIGNER).  We model
+the same structure with HKDF-like HMAC-SHA-256 derivation from a per-boot
+root secret, so that: two enclaves with the same MRSIGNER can derive the
+same seal key, different enclaves derive different report keys, and a
+REPORT MAC'd with the target's report key verifies only on that target.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+def hkdf(root: bytes, *context: bytes) -> bytes:
+    """Derive a 32-byte key from a root secret and context labels."""
+    h = hmac.new(root, digestmod=hashlib.sha256)
+    for part in context:
+        h.update(len(part).to_bytes(4, "little"))
+        h.update(part)
+    return h.digest()
+
+
+def mac(key: bytes, message: bytes) -> bytes:
+    return hmac.new(key, message, hashlib.sha256).digest()
+
+
+def mac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    return hmac.compare_digest(mac(key, message), tag)
+
+
+def sha256(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()

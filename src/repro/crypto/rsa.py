@@ -1,0 +1,140 @@
+"""Minimal RSA signatures for enclave SIGSTRUCTs.
+
+SGX enclave files are signed by their author with RSA-3072; EINIT verifies
+the signature and derives MRSIGNER from the public key (paper §II-C).  We
+implement textbook-RSA-with-hash (full-domain-hash style over SHA-256) —
+adequate for a simulator whose goal is the *protocol structure* (who signs
+what, what EINIT checks, what NASSO compares), not cryptographic strength.
+
+Key generation uses Miller–Rabin over a deterministic stream seeded by the
+caller, so test keys are reproducible and fast (default 1024-bit).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+
+def _det_stream(seed: bytes):
+    """Infinite deterministic byte stream from a seed (SHA-256 ratchet)."""
+    counter = 0
+    while True:
+        block = hashlib.sha256(seed + counter.to_bytes(8, "little")).digest()
+        yield from block
+        counter += 1
+
+
+def _rand_int(stream, bits: int) -> int:
+    nbytes = (bits + 7) // 8
+    raw = bytes(next(stream) for _ in range(nbytes))
+    value = int.from_bytes(raw, "big")
+    value |= 1 << (bits - 1)   # force top bit: full bit-length
+    value |= 1                 # force odd
+    return value & ((1 << bits) - 1)
+
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+
+
+def _is_probable_prime(n: int, stream, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + _rand_int(stream, n.bit_length() - 2) % (n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _gen_prime(stream, bits: int) -> int:
+    while True:
+        cand = _rand_int(stream, bits)
+        if _is_probable_prime(cand, stream):
+            return cand
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int
+
+    def to_bytes(self) -> bytes:
+        nlen = (self.n.bit_length() + 7) // 8
+        return (nlen.to_bytes(4, "big") + self.n.to_bytes(nlen, "big")
+                + self.e.to_bytes(4, "big"))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RsaPublicKey":
+        nlen = int.from_bytes(data[:4], "big")
+        n = int.from_bytes(data[4:4 + nlen], "big")
+        e = int.from_bytes(data[4 + nlen:8 + nlen], "big")
+        return cls(n=n, e=e)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        sig = int.from_bytes(signature, "big")
+        if not 0 < sig < self.n:
+            return False
+        recovered = pow(sig, self.e, self.n)
+        return recovered == _encode_digest(message, self.n)
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return RsaPublicKey(self.n, self.e)
+
+    def sign(self, message: bytes) -> bytes:
+        m = _encode_digest(message, self.n)
+        sig = pow(m, self.d, self.n)
+        nlen = (self.n.bit_length() + 7) // 8
+        return sig.to_bytes(nlen, "big")
+
+
+def _encode_digest(message: bytes, n: int) -> int:
+    """Full-domain-hash-ish encoding of SHA-256(message) below n."""
+    digest = hashlib.sha256(message).digest()
+    wide = hashlib.sha256(b"fdh0" + digest).digest() \
+        + hashlib.sha256(b"fdh1" + digest).digest()
+    return int.from_bytes(wide, "big") % n
+
+
+def generate_keypair(seed: bytes, bits: int = 1024) -> RsaPrivateKey:
+    """Deterministic RSA keypair from a seed."""
+    if bits < 256:
+        raise CryptoError("key too small even for a simulator")
+    stream = _det_stream(seed)
+    e = 65537
+    while True:
+        p = _gen_prime(stream, bits // 2)
+        q = _gen_prime(stream, bits // 2)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        n = p * q
+        d = pow(e, -1, phi)
+        return RsaPrivateKey(n=n, e=e, d=d)

@@ -1,0 +1,199 @@
+"""Ablation studies for the design decisions called out in DESIGN.md.
+
+* **D1 — extra validation step cost**: how much simulated time the
+  Fig. 6 shaded checks add to TLB misses, measured by running the same
+  inner→outer access pattern and isolating the ``nested_check`` charge.
+* **D2 — shootdown scope**: precise inner-thread tracking (§IV-E
+  extension) vs the simplified flush-all-cores alternative, comparing
+  IPIs and flush counts for a batch of outer-page evictions.
+* **D3 — transition flush cost sensitivity**: echo throughput as the
+  TLB-flush cost is scaled, quantifying how much of the nested overhead
+  is flush-induced.
+* **D4 — nesting depth**: validation-walk cost as the enclave chain
+  deepens (multi-level extension of §VIII).
+"""
+
+from __future__ import annotations
+
+from repro.core.access import NestedValidator
+from repro.experiments.report import ExperimentResult
+from repro.perf.costmodel import CostParams
+from repro.sgx.constants import (PAGE_SIZE, PERM_RW, PT_REG, PT_SECS,
+                                 SmallMachineConfig, ST_INITIALIZED)
+from repro.sgx.machine import Machine
+from repro.sgx.secs import Secs
+
+
+def _raw_enclave(machine, base, size=0x10000):
+    secs_frame = machine.epc_alloc.alloc()
+    machine.epcm.set(secs_frame, eid=0, page_type=PT_SECS, vaddr=0)
+    secs = Secs(eid=secs_frame, base_addr=base, size=size,
+                state=ST_INITIALIZED)
+    machine.enclaves[secs_frame] = secs
+    return secs
+
+
+def _raw_page(machine, space, secs, vaddr):
+    frame = machine.epc_alloc.alloc()
+    machine.epcm.set(frame, eid=secs.eid, page_type=PT_REG, vaddr=vaddr,
+                     perms=PERM_RW)
+    space.map_page(vaddr, frame)
+    return frame
+
+
+def run_d1_validation_cost(accesses: int = 2_000) -> ExperimentResult:
+    """Per-TLB-miss cost of the nested fallback check."""
+    result = ExperimentResult(
+        "Ablation D1", "Extra validation cost on TLB misses",
+        ("Access pattern", "ns per miss", "nested checks per miss"))
+    machine = Machine(SmallMachineConfig(),
+                      validator_cls=NestedValidator)
+    space = machine.new_address_space()
+    core = machine.cores[0]
+    core.address_space = space
+    outer = _raw_enclave(machine, 0x100000)
+    inner = _raw_enclave(machine, 0x200000)
+    _raw_page(machine, space, outer, 0x100000)
+    _raw_page(machine, space, inner, 0x200000)
+    inner.outer_eids.append(outer.eid)
+    inner.outer_eid = outer.eid
+    outer.inner_eids.append(inner.eid)
+    core.enclave_stack = [outer.eid, inner.eid]
+
+    for label, vaddr in (("own page (fast path)", 0x200000),
+                         ("outer page (fallback)", 0x100000)):
+        snap = machine.counters.snapshot()
+        start = machine.clock.now_ns
+        for _ in range(accesses):
+            core.tlb.flush()           # force a miss each time
+            core.read(vaddr, 8)
+        elapsed = machine.clock.now_ns - start
+        delta = machine.counters.delta_since(snap)
+        flush_ns = delta.get("tlb_flush", 0) \
+            * machine.cost.params.tlb_flush_ns
+        result.add(label, (elapsed - flush_ns) / accesses,
+                   delta.get("nested_check", 0) / accesses)
+    result.note("fallback adds nested_check_ns per outer-chain hop; "
+                "the owner fast path is unchanged vs baseline SGX")
+    return result
+
+
+def run_d2_shootdown(evictions: int = 16) -> ExperimentResult:
+    """Precise inner-thread tracking vs global IPI flush."""
+    from repro.sgx import eviction as ev
+    result = ExperimentResult(
+        "Ablation D2", "EWB shootdown scope for outer-enclave pages",
+        ("Strategy", "IPIs", "TLB flushes", "sim us"))
+
+    for strategy in ("precise", "global-flush"):
+        machine = Machine(SmallMachineConfig(num_cores=4),
+                          validator_cls=NestedValidator)
+        space = machine.new_address_space()
+        outer = _raw_enclave(machine, 0x100000,
+                             size=evictions * PAGE_SIZE)
+        inner = _raw_enclave(machine, 0x900000)
+        inner.outer_eids.append(outer.eid)
+        inner.outer_eid = outer.eid
+        outer.inner_eids.append(inner.eid)
+        frames = [_raw_page(machine, space, outer,
+                            0x100000 + i * PAGE_SIZE)
+                  for i in range(evictions)]
+        # One core runs an inner thread with warm translations.
+        core = machine.cores[0]
+        core.address_space = space
+        core.enclave_stack = [outer.eid, inner.eid]
+        va = ev.alloc_version_array(machine)
+        snap = machine.counters.snapshot()
+        start = machine.clock.now_ns
+        for frame in frames:
+            core.read(machine.epcm.entry(frame).vaddr, 8)  # warm TLB
+            if strategy == "precise":
+                ev.eblock(machine, frame)
+                epoch = ev.etrack(machine, outer, include_inner=True)
+                core.flush_tlb()        # AEX on exactly the dirty core
+                ev.ewb(machine, frame, va, epoch)
+            else:
+                ev.evict_with_global_flush(machine, frame, va, outer)
+        elapsed = machine.clock.now_ns - start
+        delta = machine.counters.delta_since(snap)
+        result.add(strategy, delta.get("ipi", 0),
+                   delta.get("tlb_flush", 0), elapsed / 1000.0)
+    result.note("global flush IPIs every core per eviction; precise "
+                "tracking flushes only cores running the inner closure")
+    return result
+
+
+def run_d3_flush_sensitivity(
+        scales=(0.0, 1.0, 4.0)) -> ExperimentResult:
+    """Echo nested overhead as a function of TLB-flush cost."""
+    from repro.apps.ports.echo import (MonolithicEchoServer,
+                                       NestedEchoServer)
+    from repro.experiments.fig7 import _run_server
+    from repro.os import Kernel
+    from repro.sdk import EnclaveHost
+    from repro.sgx.access import BaselineValidator
+    from repro.sgx.constants import MachineConfig
+
+    result = ExperimentResult(
+        "Ablation D3", "Nested echo overhead vs TLB-flush cost",
+        ("tlb_flush_ns scale", "Normalized throughput"))
+    base_flush = CostParams().tlb_flush_ns
+    for scale in scales:
+        params = CostParams(tlb_flush_ns=base_flush * scale)
+        config = MachineConfig(mee_encrypt_bytes=False)
+        mono_machine = Machine(config, validator_cls=BaselineValidator,
+                               cost_params=params)
+        mono_host = EnclaveHost(mono_machine, Kernel(mono_machine))
+        mono = MonolithicEchoServer(mono_host)
+        mono_run = _run_server(mono, mono_machine, 512, 64 * 1024)
+
+        nested_machine = Machine(MachineConfig(mee_encrypt_bytes=False),
+                                 validator_cls=NestedValidator,
+                                 cost_params=CostParams(
+                                     tlb_flush_ns=base_flush * scale))
+        nested_host_ = EnclaveHost(nested_machine,
+                                   Kernel(nested_machine))
+        nested = NestedEchoServer(nested_host_)
+        nested_run = _run_server(nested, nested_machine, 512,
+                                 64 * 1024)
+        result.add(scale, nested_run.throughput_bps
+                   / mono_run.throughput_bps)
+    result.note("nested performs extra flushes per message (NEENTER/"
+                "NEEXIT); scaling flush cost widens the gap")
+    return result
+
+
+def run_d4_depth(depths=(1, 2, 4, 8)) -> ExperimentResult:
+    """Validation-walk cost vs nesting depth (§VIII multi-level)."""
+    result = ExperimentResult(
+        "Ablation D4", "TLB-miss validation cost vs nesting depth",
+        ("Depth to target", "nested checks per miss", "ns per miss"))
+    for depth in depths:
+        machine = Machine(SmallMachineConfig(),
+                          validator_cls=NestedValidator)
+        space = machine.new_address_space()
+        core = machine.cores[0]
+        core.address_space = space
+        chain = [_raw_enclave(machine, 0x100000 * (i + 1))
+                 for i in range(depth + 1)]
+        _raw_page(machine, space, chain[0], 0x100000)  # outermost page
+        for child, parent in zip(chain[1:], chain):
+            child.outer_eids.append(parent.eid)
+            child.outer_eid = parent.eid
+            parent.inner_eids.append(child.eid)
+        core.enclave_stack = [c.eid for c in chain]
+        accesses = 500
+        snap = machine.counters.snapshot()
+        start = machine.clock.now_ns
+        for _ in range(accesses):
+            core.tlb.flush()
+            core.read(0x100000, 8)   # innermost touches the outermost
+        elapsed = machine.clock.now_ns - start
+        delta = machine.counters.delta_since(snap)
+        flush_ns = delta.get("tlb_flush", 0) \
+            * machine.cost.params.tlb_flush_ns
+        result.add(depth, delta.get("nested_check", 0) / accesses,
+                   (elapsed - flush_ns) / accesses)
+    result.note("walk cost grows linearly with the chain — the paper's "
+                "argument for keeping two levels in practice")
+    return result

@@ -1,0 +1,33 @@
+"""Machine/host construction helpers shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from repro.core import NestedValidator
+from repro.os import Kernel
+from repro.sdk import EnclaveHost
+from repro.sgx.access import BaselineValidator
+from repro.sgx.constants import MachineConfig
+from repro.sgx.machine import Machine
+
+
+def nested_host(*, mee_bytes: bool = False, **config_overrides
+                ) -> EnclaveHost:
+    """A fresh host on a nested-capable machine.
+
+    ``mee_bytes=False`` (default for performance experiments) keeps the
+    MEE as a pure cost model; security experiments pass True to get real
+    ciphertext in simulated DRAM.
+    """
+    config = MachineConfig(mee_encrypt_bytes=mee_bytes,
+                           **config_overrides)
+    machine = Machine(config, validator_cls=NestedValidator)
+    return EnclaveHost(machine, Kernel(machine))
+
+
+def baseline_host(*, mee_bytes: bool = False, **config_overrides
+                  ) -> EnclaveHost:
+    """A fresh host on an unextended SGX machine (Fig. 2 validator)."""
+    config = MachineConfig(mee_encrypt_bytes=mee_bytes,
+                           **config_overrides)
+    machine = Machine(config, validator_cls=BaselineValidator)
+    return EnclaveHost(machine, Kernel(machine))

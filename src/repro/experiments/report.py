@@ -1,0 +1,60 @@
+"""Shared result formatting for the experiment harnesses.
+
+Every experiment module returns a :class:`ExperimentResult` whose rows
+print as an aligned text table shaped like the paper's table/figure, so
+``pytest benchmarks/ --benchmark-only`` output can be compared to the
+paper side by side and EXPERIMENTS.md can embed the same rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    experiment: str                 # e.g. "Table II", "Figure 7"
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment}: row has {len(values)} values for "
+                f"{len(self.columns)} columns")
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}" if abs(value) < 1000 \
+                    else f"{value:,.0f}"
+            return str(value)
+
+        table = [tuple(self.columns)] + \
+            [tuple(fmt(v) for v in row) for row in self.rows]
+        widths = [max(len(row[i]) for row in table)
+                  for i in range(len(self.columns))]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        header = " | ".join(c.ljust(w) for c, w in zip(table[0], widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in table[1:]:
+            lines.append(" | ".join(c.ljust(w)
+                                    for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def row_dict(self, key_column: str = None) -> dict:
+        """Rows keyed by their first (or named) column, for assertions."""
+        key_idx = 0 if key_column is None \
+            else self.columns.index(key_column)
+        return {row[key_idx]: dict(zip(self.columns, row))
+                for row in self.rows}

@@ -1,0 +1,155 @@
+"""Table II — average latency of enclave transition calls.
+
+Microbenchmark mirroring §V: perform transition calls many times and
+report the average per-call latency for
+
+* HW SGX ecall/ocall (the cost model's calibration constants — kept so
+  the full table regenerates),
+* emulated SGX ecall/ocall (measured through the runtime on a baseline
+  machine),
+* emulated nested n_ecall/n_ocall (measured through NEENTER/NEEXIT).
+
+Because the simulator *is* the emulator here, the measured values are
+the calibrated constants plus the TLB-flush and bookkeeping costs the
+transitions genuinely incur — the same additive structure the paper's
+emulation has.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import baseline_host, nested_host
+from repro.experiments.report import ExperimentResult
+from repro.sdk import EnclaveBuilder, parse_edl
+from repro.sdk.builder import developer_key
+
+_CALLS = 2_000   # per-call averages converge immediately (additive model)
+
+_EDL = """
+enclave {
+    trusted {
+        public int noop(void);
+        public int do_ocall(void);
+        public int call_inner(void);
+        public int call_inner_chain(void);
+    };
+    untrusted {
+        int host_noop(void);
+    };
+};
+"""
+
+_INNER_EDL = """
+enclave {
+    trusted {
+        public int unused(void);
+    };
+    nested_trusted {
+        public int inner_noop(void);
+        public int inner_do_n_ocall(void);
+    };
+    nested_untrusted {
+        int noop(void);
+    };
+};
+"""
+
+
+class _Refs:
+    inner = None
+
+
+def _noop(ctx):
+    return 0
+
+
+def _do_ocall(ctx):
+    return ctx.ocall("host_noop")
+
+
+def _call_inner(ctx):
+    return ctx.n_ecall(_Refs.inner, "inner_noop")
+
+
+def _call_inner_chain(ctx):
+    """ecall -> n_ecall -> n_ocall: the full nested round trip."""
+    return ctx.n_ecall(_Refs.inner, "inner_do_n_ocall")
+
+
+def _inner_noop(ctx):
+    return 0
+
+
+def _inner_do_n_ocall(ctx):
+    return ctx.n_ocall("noop")
+
+
+def _build_pair(host):
+    key = developer_key("table2")
+    outer_builder = EnclaveBuilder("t2-outer", parse_edl(_EDL),
+                                   signing_key=key)
+    outer_builder.add_entry("noop", _noop)
+    outer_builder.add_entry("do_ocall", _do_ocall)
+    outer_builder.add_entry("call_inner", _call_inner)
+    outer_builder.add_entry("call_inner_chain", _call_inner_chain)
+    outer_probe = outer_builder.build()
+
+    inner_builder = EnclaveBuilder("t2-inner", parse_edl(_INNER_EDL),
+                                   signing_key=key)
+    inner_builder.add_entry("unused", _noop)
+    inner_builder.add_entry("inner_noop", _inner_noop)
+    inner_builder.add_entry("inner_do_n_ocall", _inner_do_n_ocall)
+    inner_builder.expect_peer(outer_probe.sigstruct.expected_mrenclave,
+                              outer_probe.sigstruct.mrsigner)
+    inner_image = inner_builder.build()
+    outer_builder.expect_peer(inner_image.sigstruct.expected_mrenclave,
+                              inner_image.sigstruct.mrsigner)
+    outer = host.load(outer_builder.build())
+    inner = host.load(inner_image)
+    host.associate(inner, outer)
+    host.register_untrusted("host_noop", lambda host: 0)
+    _Refs.inner = inner
+    return outer, inner
+
+
+def _average_us(machine, fn, calls: int = _CALLS) -> float:
+    start = machine.clock.now_ns
+    for _ in range(calls):
+        fn()
+    return (machine.clock.now_ns - start) / calls / 1000.0
+
+
+def run_table2(calls: int = _CALLS) -> ExperimentResult:
+    result = ExperimentResult(
+        "Table II",
+        "Average latency of enclave transition calls",
+        ("Mode", "ecall (us)", "ocall (us)"))
+
+    # Row 1: real-hardware figures are the calibration constants.
+    host = baseline_host()
+    params = host.machine.cost.params
+    result.add("HW SGX ecall/ocall",
+               params.hw_ecall_ns / 1000.0, params.hw_ocall_ns / 1000.0)
+
+    # Row 2: emulated SGX, measured through the runtime.
+    outer, _ = _build_pair(host)
+    ecall_us = _average_us(host.machine,
+                           lambda: outer.ecall("noop"), calls)
+    # An ocall happens inside an ecall; subtract the enclosing ecall.
+    both_us = _average_us(host.machine,
+                          lambda: outer.ecall("do_ocall"), calls)
+    result.add("Emulated SGX ecall/ocall", ecall_us, both_us - ecall_us)
+
+    # Row 3: emulated nested transitions, measured through NEENTER/NEEXIT.
+    nhost = nested_host()
+    nouter, ninner = _build_pair(nhost)
+    n_ecall_us = _average_us(
+        nhost.machine, lambda: nouter.ecall("call_inner"), calls) \
+        - ecall_us
+    chain_us = _average_us(
+        nhost.machine, lambda: nouter.ecall("call_inner_chain"),
+        calls) - ecall_us
+    result.add("Emulated nested ecall/ocall (n_ecall/n_ocall)",
+               n_ecall_us, chain_us - n_ecall_us)
+    result.note(f"{calls} calls per cell; emulated rows measured on the "
+                f"simulated clock, HW row = calibration constants")
+    return result

@@ -1,0 +1,9 @@
+"""Untrusted OS substrate: kernel, SGX driver, scheduler, IPC, and the
+active-attacker variants used by the security analysis (§VII)."""
+
+from repro.os.driver import SgxDriver
+from repro.os.ipc import IpcRouter
+from repro.os.kernel import Kernel, Process
+from repro.os.scheduler import Scheduler
+
+__all__ = ["IpcRouter", "Kernel", "Process", "Scheduler", "SgxDriver"]

@@ -1,0 +1,72 @@
+"""OS-controlled IPC — the baseline inter-enclave channel.
+
+In monolithic SGX, two enclaves talk by copying messages through
+*untrusted* memory using OS IPC primitives (pipes, shared mappings), so
+the payload must be protected with software authenticated encryption
+(AES-GCM) and — crucially — **delivery itself is at the OS's mercy**.
+Panoply-style attacks (paper §VII-B) exploit exactly that: the OS can
+silently drop, reorder, replay or forge messages.
+
+:class:`IpcRouter` models that channel: byte-string messages flow through
+per-port FIFO queues that live in kernel (attacker) memory.  The router's
+:meth:`deliver` hook is the interposition point malicious kernels
+override.  The *secure* use of this channel (GCM sealing + sequence
+numbers) is layered on top by :class:`repro.sdk.secure_channel.GcmChannel`
+— and the attack tests show which attacks sealing does and does not stop
+(encryption stops forgery; nothing stops a silent drop).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.errors import ChannelError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.os.kernel import Kernel
+
+
+class IpcRouter:
+    """Named FIFO message ports in untrusted kernel memory."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._ports: dict[str, deque[bytes]] = {}
+        self.delivered = 0
+        self.dropped = 0
+
+    def create_port(self, name: str) -> None:
+        if name in self._ports:
+            raise ChannelError(f"port {name!r} already exists")
+        self._ports[name] = deque()
+
+    def _port(self, name: str) -> deque[bytes]:
+        port = self._ports.get(name)
+        if port is None:
+            raise ChannelError(f"no port {name!r}")
+        return port
+
+    # -- the attacker-interposable path ------------------------------------
+    def deliver(self, port: str, message: bytes) -> None:
+        """Default (honest) delivery. Malicious kernels override this."""
+        self._port(port).append(bytes(message))
+        self.delivered += 1
+
+    def send(self, port: str, message: bytes) -> None:
+        self.deliver(port, message)
+
+    def try_recv(self, port: str) -> bytes | None:
+        queue = self._port(port)
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def recv(self, port: str) -> bytes:
+        message = self.try_recv(port)
+        if message is None:
+            raise ChannelError(f"port {port!r} empty")
+        return message
+
+    def pending(self, port: str) -> int:
+        return len(self._port(port))

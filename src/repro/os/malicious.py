@@ -1,0 +1,127 @@
+"""Active-attacker OS variants.
+
+Each class realises one capability of the §III-B threat model so that
+security tests and the Table VII matrix can exercise a *specific* attack
+and assert the *specific* defence that stops it:
+
+* :class:`DroppingIpcRouter` — silently drops selected IPC messages (the
+  Panoply certificate-check bypass of §VII-B: the victim never learns the
+  message existed, so "handle the explicit failure" logic never runs).
+* :class:`ReplayingIpcRouter` — records and re-delivers old messages.
+* :class:`ForgingIpcRouter` — injects attacker-crafted messages.
+* :class:`RemappingKernel` helpers — rewire page tables to alias enclave
+  virtual addresses onto attacker frames or other enclaves' EPC pages;
+  defeated by the EPCM VA check in the access automaton.
+* :class:`dram_tamper` — flip bits in raw DRAM under an EPC page;
+  detected by the MEE integrity tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.os.ipc import IpcRouter
+from repro.os.kernel import Kernel, Process
+from repro.sgx.machine import Machine
+from repro.sgx.secs import Secs
+
+
+class DroppingIpcRouter(IpcRouter):
+    """Drops every message for which ``should_drop`` returns True."""
+
+    def __init__(self, kernel: Kernel,
+                 should_drop: Callable[[str, bytes], bool]) -> None:
+        super().__init__(kernel)
+        self.should_drop = should_drop
+
+    def deliver(self, port: str, message: bytes) -> None:
+        if self.should_drop(port, message):
+            self.dropped += 1
+            return  # silently vanish — no error surfaces anywhere
+        super().deliver(port, message)
+
+
+class ReplayingIpcRouter(IpcRouter):
+    """Records all traffic and can re-deliver any past message."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        super().__init__(kernel)
+        self.recorded: list[tuple[str, bytes]] = []
+
+    def deliver(self, port: str, message: bytes) -> None:
+        self.recorded.append((port, bytes(message)))
+        super().deliver(port, message)
+
+    def replay(self, index: int) -> None:
+        port, message = self.recorded[index]
+        super().deliver(port, message)
+
+
+class ForgingIpcRouter(IpcRouter):
+    """Lets the attacker inject arbitrary messages into any port."""
+
+    def forge(self, port: str, message: bytes) -> None:
+        self._port(port).append(bytes(message))
+
+
+def install_router(kernel: Kernel, router: IpcRouter) -> None:
+    """Swap a kernel's IPC router (preserving existing ports)."""
+    router._ports = kernel.ipc._ports
+    kernel.ipc = router
+
+
+# ---------------------------------------------------------------------------
+# Page-table attacks
+# ---------------------------------------------------------------------------
+
+def remap_to_attacker_frame(kernel: Kernel, proc: Process,
+                            vaddr: int) -> int:
+    """Point an enclave VA at a fresh attacker-controlled frame.
+
+    Returns the attacker frame so the test can plant data in it.  The
+    access automaton must refuse to insert this translation when the VA
+    is inside an ELRANGE (invariant 3/4): the frame is not EPC.
+    """
+    frame = kernel.alloc_phys_page()
+    proc.space.map_page(vaddr & ~0xFFF, frame)
+    return frame
+
+
+def remap_to_foreign_epc(proc: Process, vaddr: int,
+                         victim_frame: int) -> None:
+    """Alias a VA onto *another enclave's* EPC frame.
+
+    Must be blocked by the EPCM owner check (or, for an inner enclave
+    aliasing a non-outer enclave, by the nested fallback's owner check).
+    """
+    proc.space.map_page(vaddr & ~0xFFF, victim_frame)
+
+
+def remap_epc_at_wrong_va(proc: Process, wrong_vaddr: int,
+                          epc_frame: int) -> None:
+    """Map an enclave's own EPC frame at a *different* VA than the EPCM
+    records — the classic address-translation attack EPCM.vaddr defeats."""
+    proc.space.map_page(wrong_vaddr & ~0xFFF, epc_frame)
+
+
+def dram_tamper(machine: Machine, paddr: int, flip_mask: int = 0x01) -> None:
+    """Flip bits in physical DRAM (a cold-boot / interposer attacker)."""
+    raw = bytearray(machine.phys.read(paddr, 64))
+    raw[0] ^= flip_mask
+    machine.phys.write(paddr, bytes(raw))
+
+
+def fake_association(inner: Secs, outer: Secs) -> None:
+    """What a malicious OS *wishes* it could do: scribble the association
+    fields directly.  In this simulator SECS fields are only reachable
+    through ISA leaves; this helper exists for the negative test that
+    documents the point — calling it bypasses no hardware check because
+    tests use it only to show the EDL/OS cannot conjure rights that the
+    access path would honour without a valid NASSO-set SECS state.
+
+    (The access automaton reads the same SECS objects, so the test
+    instead asserts that NASSO itself — the only architectural write path
+    — refuses unauthenticated pairs.)
+    """
+    raise NotImplementedError(
+        "SECS association fields are hardware-internal; use NASSO")

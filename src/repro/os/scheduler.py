@@ -1,0 +1,58 @@
+"""Core scheduler.
+
+A minimal round-robin core allocator.  The simulator's execution model is
+synchronous (Python call stacks stand in for running threads), so the
+scheduler's job reduces to handing out cores and supporting the eviction
+protocol: when the driver needs to evict an EPC page it asks the
+scheduler to interrupt (AEX) every core currently executing a tracked
+enclave — the OS-side half of §IV-E's thread tracking.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SgxFault
+from repro.sgx import isa
+from repro.sgx.cpu import Core
+from repro.sgx.machine import Machine
+
+
+class Scheduler:
+    """Round-robin allocator over the machine's cores."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._free: list[Core] = list(machine.cores)
+        self._busy: list[Core] = []
+
+    def acquire(self) -> Core:
+        if not self._free:
+            raise SgxFault("no free cores (release one first)")
+        core = self._free.pop(0)
+        self._busy.append(core)
+        return core
+
+    def release(self, core: Core) -> None:
+        if core not in self._busy:
+            raise SgxFault("releasing a core that was not acquired")
+        self._busy.remove(core)
+        core.address_space = None
+        self._free.append(core)
+
+    def interrupt_enclave_cores(self, tracked_eids: frozenset[int]) -> list[Core]:
+        """IPI + AEX every core executing one of ``tracked_eids``.
+
+        Returns the interrupted cores so the caller can ERESUME them after
+        the eviction completes.  This is the OS cooperation the EWB
+        protocol requires; a *lazy* OS that skips it simply gets an
+        :class:`~repro.errors.EvictionConflict` from EWB.
+        """
+        interrupted = []
+        for core in self.machine.cores:
+            if any(eid in tracked_eids for eid in core.enclave_stack):
+                isa.aex(self.machine, core)
+                interrupted.append(core)
+        return interrupted
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)

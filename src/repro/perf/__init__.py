@@ -1,0 +1,8 @@
+"""Timing substrate: simulated clock, calibrated cost model, LLC model,
+and event counters shared by every benchmark."""
+
+from repro.perf.cache import LlcModel
+from repro.perf.costmodel import CostModel, CostParams, SimClock
+from repro.perf.counters import Counters
+
+__all__ = ["CostModel", "CostParams", "SimClock", "LlcModel", "Counters"]

@@ -1,0 +1,82 @@
+"""Last-level cache model.
+
+Fig. 11 of the paper hinges on one microarchitectural fact: data that stays
+inside the on-chip LLC is never seen by the MEE, so intra-enclave (nested
+channel) transfers of cache-resident working sets pay *no* encryption cost,
+while the software AES-GCM baseline pays per-byte cost regardless.  This
+module provides a set-associative LLC with true-LRU replacement, keyed by
+physical cacheline address.  The memory system consults it on every access:
+a hit costs ``cache_hit_ns``; a miss to PRM goes through the MEE.
+
+The model tracks only tags (no data — data lives in the simulated DRAM),
+which keeps it fast enough to run millions of line accesses in benchmarks.
+"""
+
+from __future__ import annotations
+
+# Kept local (not imported from repro.sgx.constants) so the perf package
+# has no dependency on the sgx package — the machine imports us, not the
+# other way around.
+CACHELINE_SIZE = 64
+
+
+class LlcModel:
+    """Set-associative, true-LRU, physically indexed cache of line tags."""
+
+    def __init__(self, size_bytes: int, ways: int = 16,
+                 line_bytes: int = CACHELINE_SIZE) -> None:
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("cache size must be a multiple of ways*line")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        # Each set is a list of line addresses, most-recently-used last.
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.num_sets
+
+    def access(self, paddr: int) -> bool:
+        """Touch the line containing ``paddr``. Returns True on a hit."""
+        line_addr = paddr - (paddr % self.line_bytes)
+        lru = self._sets[self._set_index(line_addr)]
+        if line_addr in lru:
+            lru.remove(line_addr)
+            lru.append(line_addr)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(lru) >= self.ways:
+            lru.pop(0)
+            self.evictions += 1
+        lru.append(line_addr)
+        return False
+
+    def access_range(self, paddr: int, nbytes: int) -> tuple[int, int]:
+        """Touch every line in [paddr, paddr+nbytes). Returns (hits, misses)."""
+        if nbytes <= 0:
+            return (0, 0)
+        first = paddr - (paddr % self.line_bytes)
+        last = (paddr + nbytes - 1) - ((paddr + nbytes - 1) % self.line_bytes)
+        hits = misses = 0
+        for line in range(first, last + 1, self.line_bytes):
+            if self.access(line):
+                hits += 1
+            else:
+                misses += 1
+        return (hits, misses)
+
+    def contains(self, paddr: int) -> bool:
+        line_addr = paddr - (paddr % self.line_bytes)
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def flush(self) -> None:
+        for lru in self._sets:
+            lru.clear()
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.ways

@@ -1,0 +1,65 @@
+"""Event counters.
+
+The paper's figures report not only throughput but also *counts* — Fig. 7
+overlays the number of ecalls/ocalls per run.  A :class:`Counters` instance
+hangs off the machine and is incremented by the ISA, runtime, TLB, and MEE;
+benchmarks snapshot it before/after a workload.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class Counters:
+    """A thin, explicit wrapper over :class:`collections.Counter`."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def bump(self, name: str, by: int = 1) -> None:
+        self._counts[name] += by
+
+    def get(self, name: str) -> int:
+        return self._counts[name]
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """Counts accumulated since ``snapshot`` (zero entries omitted)."""
+        out = {}
+        for name, value in self._counts.items():
+            d = value - snapshot.get(name, 0)
+            if d:
+                out[name] = d
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counters({items})"
+
+
+#: Canonical counter names used across the simulator.  Centralised so tests
+#: and benches never typo a counter into silent zeros.
+ECALL = "ecall"
+OCALL = "ocall"
+N_ECALL = "n_ecall"
+N_OCALL = "n_ocall"
+AEX = "aex"
+TLB_HIT = "tlb_hit"
+TLB_MISS = "tlb_miss"
+TLB_FLUSH = "tlb_flush"
+NESTED_CHECK = "nested_check"
+MEE_LINE_ENC = "mee_line_encrypt"
+MEE_LINE_DEC = "mee_line_decrypt"
+LLC_HIT = "llc_hit"
+LLC_MISS = "llc_miss"
+EWB = "ewb"
+ELDB = "eldb"
+IPI = "ipi"
+GCM_SEAL = "gcm_seal"
+GCM_OPEN = "gcm_open"

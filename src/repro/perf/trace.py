@@ -1,0 +1,76 @@
+"""Structured event tracing.
+
+A :class:`Tracer` attached to a machine records security-relevant events
+(transitions, faults, associations, evictions) as typed records with
+simulated timestamps.  Components emit through ``machine.trace(...)``,
+which is a no-op when no tracer is attached — tracing costs nothing in
+the common case.
+
+Used for debugging simulations and by tests that assert *sequences* of
+events (e.g. "the eviction protocol AEX'd the inner thread before EWB").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    timestamp_ns: float
+    kind: str
+    core_id: int | None
+    details: dict[str, Any]
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.details.items())
+        who = f"core{self.core_id}" if self.core_id is not None else "sys"
+        return f"[{self.timestamp_ns / 1000:10.2f}us] {who:6s} " \
+               f"{self.kind}: {parts}"
+
+
+class Tracer:
+    """Bounded in-memory event log."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def emit(self, timestamp_ns: float, kind: str,
+             core_id: int | None = None, **details: Any) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(timestamp_ns, kind, core_id,
+                                      details))
+
+    # -- queries ------------------------------------------------------------
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> list[str]:
+        return [e.kind for e in self.events]
+
+    def first_index(self, kind: str) -> int:
+        for i, event in enumerate(self.events):
+            if event.kind == kind:
+                return i
+        return -1
+
+    def happened_before(self, first_kind: str, second_kind: str) -> bool:
+        """True if some `first_kind` event precedes every `second_kind`."""
+        i = self.first_index(first_kind)
+        j = self.first_index(second_kind)
+        return i != -1 and (j == -1 or i < j)
+
+    def render(self, limit: int = 50) -> str:
+        lines = [str(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0

@@ -1,0 +1,18 @@
+"""SDK layer: the extended EDL language, the enclave image builder and
+signing tool, the in-enclave heap, the GCM-sealed baseline channel, and
+the call runtime (ecall/ocall/n_ecall/n_ocall)."""
+
+from repro.sdk.attest import (AttestationPolicy, attest_constellation,
+                              mutual_attest)
+from repro.sdk.builder import EnclaveBuilder, EnclaveImage, developer_key
+from repro.sdk.edl import EdlSpec, parse_edl
+from repro.sdk.heap import EnclaveHeap
+from repro.sdk.runtime import EnclaveContext, EnclaveHandle, EnclaveHost
+from repro.sdk.secure_channel import GcmChannel, paired_channels
+
+__all__ = [
+    "AttestationPolicy", "EdlSpec", "EnclaveBuilder", "EnclaveContext",
+    "EnclaveHandle", "EnclaveHeap", "EnclaveHost", "EnclaveImage",
+    "GcmChannel", "attest_constellation", "developer_key",
+    "mutual_attest", "paired_channels", "parse_edl",
+]

@@ -1,0 +1,149 @@
+"""Local-attestation handshake between two enclaves.
+
+SGX's EREPORT gives two enclaves on one machine a primitive to prove
+their identities to each other; this module builds the standard
+protocol on top (the one the monolithic baseline needs before it can
+run a GCM channel, and the one nested enclaves replace for *intra*-
+constellation traffic by NASSO + the shared outer).
+
+Protocol (run by the untrusted host, which relays but cannot forge):
+
+1. A sends B a nonce.
+2. B runs ``EREPORT(target = A)`` with ``report_data = H(nonce || pubB)``
+   where ``pubB`` is B's half of a key agreement; sends (report, pubB).
+3. A verifies the report with its report key, checks MRENCLAVE/MRSIGNER
+   against its policy, then answers with its own report bound to pubA.
+4. Both derive ``K = H(secret, nonce)`` — here a deterministic
+   agreement over EGETKEY-style derived halves, standing in for ECDH.
+
+For the nested model :func:`attest_constellation` verifies a NEREPORT:
+a challenger checks not just one enclave but the whole inner/outer
+topology the report carries (paper §IV-E "Remote attestation").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core import nested_isa
+from repro.errors import MeasurementMismatch
+from repro.sdk.runtime import EnclaveHandle
+from repro.sgx import isa
+
+
+@dataclass(frozen=True)
+class AttestationPolicy:
+    """What a verifier requires of its peer."""
+
+    mrenclave: bytes | None = None    # None = any enclave…
+    mrsigner: bytes | None = None     # …from this signer
+
+    def accepts(self, mrenclave: bytes, mrsigner: bytes) -> bool:
+        if self.mrsigner is not None and mrsigner != self.mrsigner:
+            return False
+        if self.mrenclave is not None and mrenclave != self.mrenclave:
+            return False
+        return self.mrenclave is not None or self.mrsigner is not None
+
+
+def _key_half(machine, core) -> bytes:
+    """An enclave-bound public value (EGETKEY-seeded, deterministic)."""
+    return hashlib.sha256(
+        b"dh-half" + isa.egetkey(machine, core, "seal")).digest()
+
+
+def mutual_attest(a: EnclaveHandle, b: EnclaveHandle,
+                  policy_a: AttestationPolicy,
+                  policy_b: AttestationPolicy,
+                  nonce: bytes = b"session-nonce") -> tuple[bytes, bytes]:
+    """Run the handshake between enclaves ``a`` and ``b``.
+
+    Returns the two independently derived session keys (equal on
+    success).  Raises :class:`MeasurementMismatch` when either side's
+    policy rejects the peer or a report fails verification.
+    """
+    machine = a.host.machine
+    core = a.host.core
+
+    # Step 2: B reports toward A, binding its key half.
+    isa.eenter(machine, core, b.secs, b.idle_tcs())
+    half_b = _key_half(machine, core)
+    report_b = isa.ereport(machine, core, a.secs.mrenclave,
+                           hashlib.sha256(nonce + half_b).digest())
+    isa.eexit(machine, core)
+
+    # Step 3: A verifies B and reports back.
+    isa.eenter(machine, core, a.secs, a.idle_tcs())
+    if not isa.verify_report(machine, core, report_b):
+        isa.eexit(machine, core)
+        raise MeasurementMismatch("B's report failed verification on A")
+    if not policy_a.accepts(report_b.mrenclave, report_b.mrsigner):
+        isa.eexit(machine, core)
+        raise MeasurementMismatch("A's policy rejects B")
+    if report_b.report_data != hashlib.sha256(nonce + half_b).digest():
+        isa.eexit(machine, core)
+        raise MeasurementMismatch("B's key half not bound to the report")
+    half_a = _key_half(machine, core)
+    report_a = isa.ereport(machine, core, b.secs.mrenclave,
+                           hashlib.sha256(nonce + half_a).digest())
+    key_a = hashlib.sha256(b"session" + half_a + half_b + nonce).digest()
+    isa.eexit(machine, core)
+
+    # Step 4: B verifies A symmetrically and derives the same key.
+    isa.eenter(machine, core, b.secs, b.idle_tcs())
+    if not isa.verify_report(machine, core, report_a):
+        isa.eexit(machine, core)
+        raise MeasurementMismatch("A's report failed verification on B")
+    if not policy_b.accepts(report_a.mrenclave, report_a.mrsigner):
+        isa.eexit(machine, core)
+        raise MeasurementMismatch("B's policy rejects A")
+    key_b = hashlib.sha256(b"session" + half_a + half_b + nonce).digest()
+    isa.eexit(machine, core)
+    return key_a, key_b
+
+
+@dataclass(frozen=True)
+class ConstellationView:
+    """What a challenger learns from a verified NEREPORT."""
+
+    mrenclave: bytes
+    mrsigner: bytes
+    outer_measurements: tuple[tuple[bytes, bytes], ...]
+    inner_measurements: tuple[tuple[bytes, bytes], ...]
+
+
+def attest_constellation(verifier: EnclaveHandle,
+                         target: EnclaveHandle,
+                         expected_inners: tuple[bytes, ...] = (),
+                         ) -> ConstellationView:
+    """Challenger flow for nested attestation: obtain a NEREPORT from
+    ``target``, verify it inside ``verifier``, and check that every
+    measurement in ``expected_inners`` appears among the target's inner
+    enclaves (paper: "An attestation to an outer enclave must report
+    the measurements of all inner enclaves sharing the outer enclave").
+    """
+    machine = verifier.host.machine
+    core = verifier.host.core
+
+    isa.eenter(machine, core, target.secs, target.idle_tcs())
+    report = nested_isa.nereport(machine, core,
+                                 verifier.secs.mrenclave)
+    isa.eexit(machine, core)
+
+    isa.eenter(machine, core, verifier.secs, verifier.idle_tcs())
+    ok = nested_isa.verify_nested_report(machine, core, report)
+    isa.eexit(machine, core)
+    if not ok:
+        raise MeasurementMismatch("nested report failed verification")
+
+    present = {mre for mre, _ in report.inner_measurements}
+    missing = [mre for mre in expected_inners if mre not in present]
+    if missing:
+        raise MeasurementMismatch(
+            f"{len(missing)} expected inner enclave(s) absent from the "
+            f"attested constellation")
+    return ConstellationView(
+        mrenclave=report.mrenclave, mrsigner=report.mrsigner,
+        outer_measurements=report.outer_measurements,
+        inner_measurements=report.inner_measurements)

@@ -1,0 +1,106 @@
+"""In-enclave heap allocator.
+
+A first-fit free-list malloc/free operating on a region of *enclave*
+memory through a core's validated ``read``/``write`` path.  It exists for
+two reasons:
+
+1. Applications need somewhere inside an enclave to place buffers that
+   other domains will (legitimately or not) try to touch — the ring
+   channel, SSL session state, query scratch space.
+
+2. The Heartbleed case study (§VI-A) depends on real heap *adjacency*
+   semantics: the bug leaks "arbitrary freed buffers" that happen to lie
+   after the attacker's request buffer.  A Python-dict "heap" would have
+   no adjacency; this allocator has genuine addresses, headers, splits
+   and coalescing, so the over-read walks real enclave memory.
+
+Block layout: an 16-byte header (u64 size incl. header, u64 status tag)
+followed by the payload.  The allocator's metadata lives *in the managed
+memory itself*, so buggy enclave code can corrupt it — faithfully.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SdkError
+from repro.sgx.cpu import Core
+
+_HDR = 16
+_FREE = 0xF4EE_F4EE_F4EE_F4EE
+_USED = 0x05ED_05ED_05ED_05ED
+_ALIGN = 16
+
+
+class EnclaveHeap:
+    """First-fit allocator over [base, base+size) of enclave memory."""
+
+    def __init__(self, base: int, size: int) -> None:
+        if size < _HDR * 4:
+            raise SdkError("heap region too small")
+        self.base = base
+        self.size = size
+
+    # -- header accessors -------------------------------------------------
+    @staticmethod
+    def _read_hdr(core: Core, addr: int) -> tuple[int, int]:
+        return core.read_u64(addr), core.read_u64(addr + 8)
+
+    @staticmethod
+    def _write_hdr(core: Core, addr: int, size: int, tag: int) -> None:
+        core.write_u64(addr, size)
+        core.write_u64(addr + 8, tag)
+
+    # -- lifecycle ------------------------------------------------------------
+    def initialise(self, core: Core) -> None:
+        """Format the region as a single free block."""
+        self._write_hdr(core, self.base, self.size, _FREE)
+
+    def malloc(self, core: Core, nbytes: int) -> int:
+        """Allocate ``nbytes``; returns the payload address."""
+        if nbytes <= 0:
+            raise SdkError("malloc of non-positive size")
+        need = _HDR + (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        addr = self.base
+        end = self.base + self.size
+        while addr < end:
+            size, tag = self._read_hdr(core, addr)
+            if size == 0 or addr + size > end:
+                raise SdkError(f"heap corruption at {addr:#x}")
+            if tag == _FREE and size >= need:
+                remainder = size - need
+                if remainder >= _HDR + _ALIGN:
+                    self._write_hdr(core, addr, need, _USED)
+                    self._write_hdr(core, addr + need, remainder, _FREE)
+                else:
+                    self._write_hdr(core, addr, size, _USED)
+                return addr + _HDR
+            addr += size
+        raise SdkError(f"enclave heap exhausted ({nbytes} bytes wanted)")
+
+    def free(self, core: Core, payload_addr: int) -> None:
+        """Free a block.  The payload bytes are *not* scrubbed — exactly
+        the behaviour Heartbleed exploits."""
+        addr = payload_addr - _HDR
+        size, tag = self._read_hdr(core, addr)
+        if tag != _USED:
+            raise SdkError(f"free of non-allocated block at {addr:#x}")
+        # Coalesce with the next block if it is free.
+        nxt = addr + size
+        if nxt < self.base + self.size:
+            nsize, ntag = self._read_hdr(core, nxt)
+            if ntag == _FREE:
+                size += nsize
+        self._write_hdr(core, addr, size, _FREE)
+
+    # -- introspection (tests) ------------------------------------------------
+    def walk(self, core: Core) -> list[tuple[int, int, bool]]:
+        """All blocks as (payload_addr, payload_size, is_free)."""
+        blocks = []
+        addr = self.base
+        end = self.base + self.size
+        while addr < end:
+            size, tag = self._read_hdr(core, addr)
+            if size == 0 or addr + size > end:
+                raise SdkError(f"heap corruption at {addr:#x}")
+            blocks.append((addr + _HDR, size - _HDR, tag == _FREE))
+            addr += size
+        return blocks

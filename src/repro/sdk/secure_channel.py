@@ -1,0 +1,94 @@
+"""Software-sealed channel over untrusted IPC — the monolithic baseline.
+
+When two monolithic enclaves communicate, every message crosses untrusted
+memory, so it must be sealed with authenticated encryption (AES-GCM here,
+as in the paper's Fig. 11 "GCM" series) and numbered against reordering /
+replay.  :class:`GcmChannel` implements that discipline over the kernel's
+:class:`~repro.os.ipc.IpcRouter` and charges the software-crypto cost to
+the simulated clock.
+
+What GCM **can** stop: forgery, tampering, replay, reordering (via the
+sequence number in the AAD).  What it **cannot** stop: the OS silently
+*dropping* a message — the receiver simply never sees it and, unless the
+application protocol adds its own end-to-end acknowledgements, proceeds
+as if it was never sent.  That residual weakness is the Panoply attack
+of §VII-B and is demonstrated in ``tests/attacks/test_ipc_drop.py``;
+the nested-enclave ring channel is immune because the OS never carries
+the messages at all.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.gcm import AesGcm
+from repro.errors import ChannelError, CryptoError
+from repro.os.ipc import IpcRouter
+from repro.perf import counters as ctr
+from repro.sgx.machine import Machine
+
+
+class GcmChannel:
+    """One direction of a sealed enclave-to-enclave channel."""
+
+    def __init__(self, machine: Machine, router: IpcRouter, port: str,
+                 key: bytes) -> None:
+        self.machine = machine
+        self.router = router
+        self.port = port
+        self._gcm = AesGcm(key)
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    def _nonce(self, seq: int) -> bytes:
+        return seq.to_bytes(12, "little")
+
+    def send(self, plaintext: bytes) -> None:
+        """Seal + hand to the OS.  Charges the software GCM cost."""
+        seq = self._send_seq
+        self._send_seq += 1
+        aad = seq.to_bytes(8, "little")
+        sealed = self._gcm.seal(self._nonce(seq), plaintext, aad)
+        self.machine.cost.charge_gcm(len(plaintext))
+        self.machine.cost.charge_event("ipc_syscall")
+        self.machine.counters.bump(ctr.GCM_SEAL)
+        self.router.send(self.port, aad + sealed)
+
+    def try_recv(self) -> bytes | None:
+        """Receive + verify the next in-order message.
+
+        Returns None when the OS has nothing queued.  Raises
+        :class:`ChannelError` on sequence gaps (a detected drop/reorder —
+        but only once a *later* message arrives; a trailing silent drop
+        is undetectable) and :class:`CryptoError` on forged/corrupt data.
+        """
+        raw = self.router.try_recv(self.port)
+        if raw is None:
+            return None
+        if len(raw) < 8 + AesGcm.TAG_LEN:
+            raise CryptoError("runt sealed message")
+        seq = int.from_bytes(raw[:8], "little")
+        if seq != self._recv_seq:
+            raise ChannelError(
+                f"sequence gap: expected {self._recv_seq}, got {seq} "
+                f"(OS dropped or reordered traffic)")
+        plaintext = self._gcm.open(self._nonce(seq), raw[8:], raw[:8])
+        self.machine.cost.charge_gcm(len(plaintext))
+        self.machine.cost.charge_event("ipc_syscall")
+        self.machine.counters.bump(ctr.GCM_OPEN)
+        self._recv_seq += 1
+        return plaintext
+
+    def recv(self) -> bytes:
+        message = self.try_recv()
+        if message is None:
+            raise ChannelError(f"no message pending on {self.port!r}")
+        return message
+
+
+def paired_channels(machine: Machine, router: IpcRouter, name: str,
+                    key: bytes) -> tuple[GcmChannel, GcmChannel]:
+    """A bidirectional link: (a→b, b→a) halves sharing one key."""
+    router.create_port(name + ":fwd")
+    router.create_port(name + ":rev")
+    fwd = GcmChannel(machine, router, name + ":fwd", key)
+    rev = GcmChannel(machine, router, name + ":rev", key)
+    return fwd, rev

@@ -1,0 +1,149 @@
+"""Switchless ocalls — the transition-avoidance optimisation the paper
+cites as the standard SGX answer to expensive boundary crossings
+(§IX: HotCalls [54], Eleos [36], and the SDK's "switchless calls" [47]).
+
+Instead of EEXIT/EENTER per ocall, the enclave writes a request into a
+shared buffer in *untrusted* memory (which enclave mode may access, NX)
+and an untrusted worker thread polls, executes, and writes the response;
+the enclave spins on the response flag.  No transition, no TLB flush —
+per call, only memory traffic plus the worker's polling latency.
+
+Including this matters for the reproduction because it is the natural
+question a reader asks about Fig. 7: "would switchless calls erase the
+nested overhead?"  The D5 bench (`benchmarks/test_switchless.py`)
+answers: switchless helps ocalls in *both* layouts, and the inner↔outer
+n-calls can use the same trick via the shared *outer* heap — with the
+bonus that the nested request buffer is EPC-protected rather than
+plaintext in untrusted RAM.
+
+Request-slot layout at ``base`` (u64 fields): status, opcode,
+request_len, response_len, then payload bytes.  Status: 0 idle,
+1 request posted, 2 response ready.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SdkError
+from repro.sgx.cpu import Core
+
+_ST_IDLE = 0
+_ST_REQUEST = 1
+_ST_RESPONSE = 2
+
+_HDR = 32
+
+
+@dataclass
+class SwitchlessStats:
+    calls: int = 0
+    worker_polls: int = 0
+
+
+class SwitchlessChannel:
+    """One request slot + a registered table of untrusted handlers.
+
+    The simulator executes the worker synchronously at post time (the
+    poll loop is folded into simulated polling cost), which preserves
+    the *cost structure* — no transitions, only memory traffic and the
+    worker wake latency.
+    """
+
+    #: Simulated one-way latency for the worker to notice a request
+    #: (cache-line ping-pong between cores, ~100-200ns on real parts).
+    POLL_LATENCY_NS = 150.0
+
+    def __init__(self, machine, base: int, capacity: int) -> None:
+        if capacity < _HDR + 64:
+            raise SdkError("switchless slot too small")
+        self.machine = machine
+        self.base = base
+        self.capacity = capacity
+        self.handlers: dict[int, Callable[[bytes], bytes]] = {}
+        self.opcode_names: dict[str, int] = {}
+        self.stats = SwitchlessStats()
+
+    def register(self, name: str,
+                 handler: Callable[[bytes], bytes]) -> int:
+        opcode = len(self.handlers) + 1
+        self.handlers[opcode] = handler
+        self.opcode_names[name] = opcode
+        return opcode
+
+    # -- enclave side -----------------------------------------------------
+    def call(self, core: Core, name: str, payload: bytes = b"") -> bytes:
+        """Issue one switchless call from enclave mode."""
+        opcode = self.opcode_names.get(name)
+        if opcode is None:
+            raise SdkError(f"no switchless handler {name!r}")
+        if _HDR + len(payload) > self.capacity:
+            raise SdkError("switchless payload exceeds the slot")
+        if core.read_u64(self.base) != _ST_IDLE:
+            raise SdkError("switchless slot busy (single outstanding "
+                           "call per slot)")
+        core.write_u64(self.base + 8, opcode)
+        core.write_u64(self.base + 16, len(payload))
+        if payload:
+            core.write(self.base + _HDR, payload)
+        core.write_u64(self.base, _ST_REQUEST)   # release the request
+
+        self._worker_step(core)
+
+        # Enclave spins until the response flag flips; we charge one
+        # poll latency for the flip to become visible.
+        self.machine.cost.charge("switchless_poll", self.POLL_LATENCY_NS)
+        if core.read_u64(self.base) != _ST_RESPONSE:
+            raise SdkError("switchless worker did not respond")
+        response_len = core.read_u64(self.base + 24)
+        response = core.read(self.base + _HDR, response_len) \
+            if response_len else b""
+        core.write_u64(self.base, _ST_IDLE)
+        self.stats.calls += 1
+        return response
+
+    # -- untrusted worker side ----------------------------------------------
+    def _worker_step(self, core: Core) -> None:
+        """The worker notices the request and services it.
+
+        Runs with *no* enclave context: it reads the slot through raw
+        physical access (the slot lives in untrusted memory), exactly
+        as a real worker thread in another process context would.
+        """
+        self.stats.worker_polls += 1
+        self.machine.cost.charge("switchless_poll", self.POLL_LATENCY_NS)
+        space = core.address_space
+        slot_pa = space.translate(self.base)
+        if slot_pa is None:
+            raise SdkError("switchless slot not mapped")
+        opcode = int.from_bytes(
+            self.machine.memside_read(slot_pa + 8, 8), "little")
+        request_len = int.from_bytes(
+            self.machine.memside_read(slot_pa + 16, 8), "little")
+        request = self.machine.memside_read(slot_pa + _HDR, request_len) \
+            if request_len else b""
+        handler = self.handlers.get(opcode)
+        if handler is None:
+            raise SdkError(f"switchless worker: unknown opcode {opcode}")
+        response = handler(request)
+        if _HDR + len(response) > self.capacity:
+            raise SdkError("switchless response exceeds the slot")
+        if response:
+            self.machine.memside_write(slot_pa + _HDR, response)
+        self.machine.memside_write(
+            slot_pa + 24, len(response).to_bytes(8, "little"))
+        self.machine.memside_write(slot_pa, _ST_RESPONSE.to_bytes(
+            8, "little"))
+
+
+def make_switchless_region(host, capacity: int = 4096
+                           ) -> SwitchlessChannel:
+    """Allocate an untrusted shared slot in the host process and wrap
+    it in a channel."""
+    base = host.kernel.mmap(host.proc, capacity)
+    channel = SwitchlessChannel(host.machine, base, capacity)
+    # Initialise the status word from the host (untrusted) side.
+    slot_pa = host.proc.space.translate(base)
+    host.machine.memside_write(slot_pa, _ST_IDLE.to_bytes(8, "little"))
+    return channel

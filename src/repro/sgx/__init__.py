@@ -1,0 +1,19 @@
+"""Baseline SGX substrate: the simulated machine, enclave metadata,
+the ISA leaves, the access-validation automaton (paper Fig. 2), the MEE,
+TLBs, page tables and EPC eviction.
+
+The nested-enclave extension lives in :mod:`repro.core`, which layers the
+paper's new instructions and the Fig. 6 validation path on top of what is
+exported here.
+"""
+
+from repro.sgx.access import BaselineValidator, Decision
+from repro.sgx.constants import MachineConfig, SmallMachineConfig
+from repro.sgx.machine import Machine
+from repro.sgx.secs import Secs, Tcs
+from repro.sgx.sigstruct import Sigstruct, sign_sigstruct
+
+__all__ = [
+    "BaselineValidator", "Decision", "Machine", "MachineConfig",
+    "SmallMachineConfig", "Secs", "Sigstruct", "Tcs", "sign_sigstruct",
+]

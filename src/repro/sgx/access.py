@@ -1,0 +1,129 @@
+"""Baseline SGX access-validation automaton (paper Fig. 2).
+
+Every simulated memory access goes: core → TLB → (on miss) page walk →
+**this validator** → TLB insert or fault.  This mirrors the real design
+where validation microcode runs only at TLB-fill time, making the
+"TLB holds only validated translations" invariant the linchpin.
+
+The validator is deliberately written as an explicit decision procedure
+with one branch per box of the paper's flowchart, because the nested
+extension (:mod:`repro.core.access`) is specified by the paper as *added
+shaded boxes* on this same flowchart: it subclasses this class and
+overrides exactly the two fallback hooks that the shaded boxes hang off.
+
+Decision outcomes:
+
+* ``insert`` — translation is valid; enter it into the TLB (possibly with
+  reduced permissions, e.g. execute-disable for unsecure pages touched
+  from enclave mode).
+* ``page_fault`` — mapping is architecturally plausible but the page is
+  not resident (evicted EPC page); the OS may fix it up with ELDB.
+* ``abort`` — the access violates the protection model; blocked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sgx.constants import PERM_RWX, PERM_X, PT_REG
+from repro.sgx.paging import Pte
+from repro.sgx.constants import PAGE_SHIFT, PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sgx.cpu import Core
+    from repro.sgx.machine import Machine
+
+INSERT = "insert"
+PAGE_FAULT = "page_fault"
+ABORT = "abort"
+
+
+@dataclass
+class Decision:
+    action: str
+    perms: int = PERM_RWX
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.action == INSERT
+
+
+class BaselineValidator:
+    """Fig. 2: the SGX1 TLB-miss validation procedure."""
+
+    name = "sgx-baseline"
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+
+    # ------------------------------------------------------------------ API
+    def validate(self, core: "Core", vaddr: int, pte: Pte) -> Decision:
+        """Validate one translation for the access currently faulting.
+
+        ``pte`` comes from the untrusted page table and must never be
+        trusted for EPC targets — only the EPCM is.
+        """
+        mem = self.machine.phys
+        paddr_page = pte.pfn << PAGE_SHIFT
+
+        if not core.in_enclave_mode:
+            # Path (A): non-enclave access.
+            if mem.in_prm(paddr_page):
+                return Decision(ABORT, reason="non-enclave access to PRM")
+            return Decision(INSERT, perms=pte.perms,
+                            reason="non-enclave access to normal memory")
+
+        secs = self.machine.enclave(core.current_eid)
+
+        if mem.in_prm(paddr_page):
+            # Path (B): enclave access whose translation targets the PRM.
+            if not mem.in_epc(paddr_page):
+                return Decision(ABORT, reason="PRM but not EPC (MEE metadata)")
+            entry = self.machine.epcm.entry(paddr_page)
+            if not entry.valid:
+                return Decision(ABORT, reason="invalid EPCM entry")
+            if entry.page_type != PT_REG:
+                # SECS/TCS/VA pages are never software-accessible.
+                return Decision(
+                    ABORT, reason=f"{entry.page_type} page not accessible")
+            if entry.eid == secs.eid:
+                if entry.blocked:
+                    return Decision(PAGE_FAULT, reason="page blocked for EWB")
+                if entry.vaddr != (vaddr & ~(PAGE_SIZE - 1)):
+                    return Decision(
+                        ABORT, reason="virtual address mismatch vs EPCM")
+                return Decision(INSERT, perms=entry.perms,
+                                reason="owner access to own EPC page")
+            # EID mismatch.  Baseline SGX aborts; the nested extension
+            # hooks in here (shaded steps 3-5 of Fig. 6).
+            return self.on_eid_mismatch(core, secs, vaddr, paddr_page, entry)
+
+        # Path (C): enclave access whose translation targets normal memory.
+        if secs.contains_vaddr(vaddr):
+            # A virtual page inside ELRANGE must be backed by EPC; if the
+            # page table points elsewhere the EPC page was swapped out (or
+            # the OS is lying).  Either way: #PF, never insert.
+            return Decision(PAGE_FAULT,
+                            reason="ELRANGE address not backed by EPC")
+        # Outside this enclave's ELRANGE.  Baseline: it is a plain access
+        # to unsecure memory — allowed, but never executable (shaded steps
+        # 1-2 of Fig. 6 hook in here for nested enclaves).
+        return self.on_outside_elrange(core, secs, vaddr, pte)
+
+    # -------------------------------------------------- extension hooks
+    def on_eid_mismatch(self, core: "Core", secs, vaddr: int,
+                        paddr_page: int, entry) -> Decision:
+        """EPC page owned by someone else.  Baseline SGX: always abort."""
+        return Decision(ABORT, reason="EPC page owned by another enclave")
+
+    def on_outside_elrange(self, core: "Core", secs, vaddr: int,
+                           pte: Pte) -> Decision:
+        """Enclave touches memory outside its ELRANGE.
+
+        Baseline SGX permits reads/writes of untrusted memory from enclave
+        mode (that is how ocall buffers work) but disables execution.
+        """
+        return Decision(INSERT, perms=pte.perms & ~PERM_X,
+                        reason="enclave access to unsecure memory (NX)")

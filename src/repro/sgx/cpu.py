@@ -1,0 +1,141 @@
+"""CPU core model.
+
+A :class:`Core` holds the security-relevant per-core state SGX cares about:
+whether the core is in enclave mode, which enclave it is executing
+(``current_eid``), the *stack* of nested enclave contexts (for NEENTER —
+the outer enclave's context is suspended, not exited), its private TLB,
+and a tiny architectural register file whose only job is to let NEEXIT's
+"set 0s for all registers" scrubbing be observable in tests.
+
+The core also exposes the two operations everything above builds on:
+:meth:`read` / :meth:`write`, which run the full TLB → page-walk →
+access-validation pipeline against the machine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import AccessViolation, PageFault
+from repro.perf import counters as ctr
+from repro.sgx.access import ABORT, INSERT, PAGE_FAULT
+from repro.sgx.constants import PAGE_SHIFT, PAGE_SIZE, PERM_R, PERM_W
+from repro.sgx.paging import AddressSpace
+from repro.sgx.tlb import Tlb, TlbEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sgx.machine import Machine
+
+#: Architectural registers scrubbed on enclave exit (subset, for tests).
+REGISTER_NAMES = ("rax", "rbx", "rcx", "rdx", "rsi", "rdi",
+                  "r8", "r9", "r10", "r11", "rflags")
+
+
+class Core:
+    """One simulated hardware thread."""
+
+    def __init__(self, machine: "Machine", core_id: int) -> None:
+        self.machine = machine
+        self.core_id = core_id
+        self.tlb = Tlb(machine.config.tlb_entries)
+        #: Enclave-context stack: empty = non-enclave mode; one element =
+        #: ordinary enclave execution; deeper = nested (NEENTER) frames.
+        #: Each frame is an EID.
+        self.enclave_stack: list[int] = []
+        self.address_space: AddressSpace | None = None
+        self.registers: dict[str, int] = {r: 0 for r in REGISTER_NAMES}
+        #: TCS vaddr per active enclave frame (parallel to enclave_stack).
+        self.tcs_stack: list[int] = []
+
+    # -- mode queries ----------------------------------------------------------
+    @property
+    def in_enclave_mode(self) -> bool:
+        return bool(self.enclave_stack)
+
+    @property
+    def current_eid(self) -> int:
+        if not self.enclave_stack:
+            return 0
+        return self.enclave_stack[-1]
+
+    # -- register scrubbing ------------------------------------------------------
+    def scrub_registers(self) -> None:
+        """Zero all registers and flags (NEEXIT/EEXIT hygiene, §V)."""
+        for name in self.registers:
+            self.registers[name] = 0
+
+    # -- TLB management ------------------------------------------------------
+    def flush_tlb(self) -> None:
+        self.tlb.flush()
+        self.machine.cost.charge_event("tlb_flush")
+        self.machine.counters.bump(ctr.TLB_FLUSH)
+
+    # -- the memory pipeline ------------------------------------------------------
+    def _translate(self, vaddr: int, write: bool) -> TlbEntry:
+        """TLB lookup; on miss, page walk + access validation + fill."""
+        machine = self.machine
+        vpn = vaddr >> PAGE_SHIFT
+        entry = self.tlb.lookup(vpn)
+        if entry is not None:
+            machine.counters.bump(ctr.TLB_HIT)
+            machine.cost.charge_event("tlb_hit")
+        else:
+            machine.counters.bump(ctr.TLB_MISS)
+            machine.cost.charge_event("tlb_miss_walk")
+            if self.address_space is None:
+                raise PageFault("core has no address space", vaddr)
+            pte = self.address_space.walk(vaddr)
+            if pte is None or not pte.present:
+                raise PageFault(f"no present mapping for {vaddr:#x}", vaddr)
+            decision = machine.validator.validate(self, vaddr, pte)
+            if decision.action == PAGE_FAULT:
+                machine.trace("PAGE_FAULT", self.core_id,
+                              vaddr=hex(vaddr), reason=decision.reason)
+                raise PageFault(
+                    f"#PF at {vaddr:#x}: {decision.reason}", vaddr)
+            if decision.action == ABORT:
+                machine.trace("ACCESS_VIOLATION", self.core_id,
+                              vaddr=hex(vaddr), reason=decision.reason)
+                raise AccessViolation(
+                    f"access violation at {vaddr:#x}: {decision.reason}",
+                    vaddr)
+            assert decision.action == INSERT
+            entry = TlbEntry(vpn=vpn, pfn=pte.pfn, perms=decision.perms,
+                             context_eid=self.current_eid)
+            self.tlb.insert(entry)
+        needed = PERM_W if write else PERM_R
+        if not entry.perms & needed:
+            kind = "write" if write else "read"
+            raise PageFault(f"{kind} permission denied at {vaddr:#x}", vaddr)
+        return entry
+
+    def read(self, vaddr: int, size: int) -> bytes:
+        """Read ``size`` bytes of virtual memory with full protection."""
+        out = bytearray()
+        while size > 0:
+            entry = self._translate(vaddr, write=False)
+            off = vaddr & (PAGE_SIZE - 1)
+            chunk = min(size, PAGE_SIZE - off)
+            paddr = (entry.pfn << PAGE_SHIFT) | off
+            out += self.machine.memside_read(paddr, chunk)
+            vaddr += chunk
+            size -= chunk
+        return bytes(out)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            entry = self._translate(vaddr, write=True)
+            off = vaddr & (PAGE_SIZE - 1)
+            chunk = min(len(data) - pos, PAGE_SIZE - off)
+            paddr = (entry.pfn << PAGE_SHIFT) | off
+            self.machine.memside_write(paddr, data[pos:pos + chunk])
+            vaddr += chunk
+            pos += chunk
+
+    # convenience accessors used heavily by enclave application code
+    def read_u64(self, vaddr: int) -> int:
+        return int.from_bytes(self.read(vaddr, 8), "little")
+
+    def write_u64(self, vaddr: int, value: int) -> None:
+        self.write(vaddr, (value & (2**64 - 1)).to_bytes(8, "little"))

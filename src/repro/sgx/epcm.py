@@ -1,0 +1,92 @@
+"""Enclave Page Cache Map (EPCM).
+
+The EPCM is the hardware's inverted page table over the EPC: for every EPC
+frame it records whether the frame is valid, which enclave owns it (by the
+physical address of that enclave's SECS — the architectural enclave ID),
+the page type, the *virtual* address the enclave author mapped it at, and
+its RWX permissions.  Access validation (paper §II-B and Fig. 2) compares a
+translation produced by the untrusted page table against this trusted
+reverse map.
+
+Nested enclaves change **nothing** in the EPCM (paper §IV-D: "the
+information in EPCM does not change; each EPC page belongs only to a single
+enclave at a time").  The nested behaviour lives entirely in the validation
+automaton, which may compare an EPCM entry against the *outer* enclave's ID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SgxFault
+from repro.sgx.constants import (MachineConfig, PAGE_SIZE, PERM_RWX, PT_REG)
+
+
+@dataclass
+class EpcmEntry:
+    """One EPCM entry.  ``eid`` is the owning enclave's ID (the physical
+    address of its SECS page); 0 for ownerless pages such as a SECS itself
+    or a version array."""
+
+    valid: bool = False
+    eid: int = 0
+    page_type: str = PT_REG
+    vaddr: int = 0
+    perms: int = PERM_RWX
+    #: Set by EWB when the page is evicted: the entry stays allocated but
+    #: the access path must raise #PF so the OS can reload it with ELDB.
+    blocked: bool = False
+
+
+class Epcm:
+    """The EPCM table, indexed by EPC frame physical address."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self._entries: dict[int, EpcmEntry] = {}
+
+    def _key(self, paddr: int) -> int:
+        if paddr % PAGE_SIZE:
+            raise SgxFault("EPCM is indexed by page-aligned addresses")
+        base, size = self.config.epc_base, self.config.epc_bytes
+        if not (base <= paddr < base + size):
+            raise SgxFault(f"{paddr:#x} is not an EPC frame")
+        return paddr
+
+    def entry(self, paddr: int) -> EpcmEntry:
+        """The (possibly invalid) entry for an EPC frame."""
+        key = self._key(paddr)
+        ent = self._entries.get(key)
+        if ent is None:
+            ent = EpcmEntry()
+            self._entries[key] = ent
+        return ent
+
+    def entry_for_addr(self, paddr: int) -> EpcmEntry:
+        """Entry for the frame containing an arbitrary EPC byte address."""
+        return self.entry(paddr & ~(PAGE_SIZE - 1))
+
+    def set(self, paddr: int, *, eid: int, page_type: str, vaddr: int,
+            perms: int = PERM_RWX) -> EpcmEntry:
+        ent = self.entry(paddr)
+        if ent.valid:
+            raise SgxFault(f"EPCM entry for {paddr:#x} already valid")
+        ent.valid = True
+        ent.eid = eid
+        ent.page_type = page_type
+        ent.vaddr = vaddr
+        ent.perms = perms
+        ent.blocked = False
+        return ent
+
+    def clear(self, paddr: int) -> None:
+        ent = self.entry(paddr)
+        ent.valid = False
+        ent.eid = 0
+        ent.vaddr = 0
+        ent.blocked = False
+
+    def pages_of(self, eid: int) -> list[int]:
+        """All valid EPC frames owned by ``eid`` (ascending)."""
+        return sorted(p for p, e in self._entries.items()
+                      if e.valid and e.eid == eid)

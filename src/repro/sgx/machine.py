@@ -1,0 +1,201 @@
+"""The simulated machine: cores + memory system + SGX state.
+
+A :class:`Machine` owns
+
+* the physical memory, PRM/EPC geometry and EPC allocator,
+* the EPCM, the MEE and the LLC model,
+* the enclave registry (EID → SECS) and TCS registry,
+* one access validator (baseline Fig. 2 or nested Fig. 6),
+* the cost model, simulated clock and event counters,
+* ``num_cores`` :class:`~repro.sgx.cpu.Core` objects.
+
+Memory-side path
+----------------
+``memside_read``/``memside_write`` model the LLC→MEE→DRAM path that every
+*validated* access takes after translation.  Lines resident in the LLC are
+plaintext inside the CPU package and cost a cache hit; lines missing to the
+PRM pass through the MEE (decrypt on fill, encrypt on writeback) and cost
+DRAM + MEE time.  When ``config.mee_encrypt_bytes`` is set, the bytes in
+simulated DRAM for PRM lines are genuine ciphertext — physical-attack tests
+read :attr:`phys` directly and verify they cannot see plaintext.
+
+ISA leaves ("microcode") use the same memory-side helpers but bypass the
+core's TLB/validation pipeline, exactly as microcode does on real parts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import SgxFault
+from repro.perf import counters as ctr
+from repro.perf.cache import LlcModel
+from repro.perf.costmodel import CostModel, CostParams, SimClock
+from repro.perf.counters import Counters
+from repro.sgx.access import BaselineValidator
+from repro.sgx.constants import CACHELINE_SIZE, MachineConfig, PAGE_SIZE
+from repro.sgx.cpu import Core
+from repro.sgx.epcm import Epcm
+from repro.sgx.mee import Mee
+from repro.sgx.memory import EpcAllocator, PhysicalMemory
+from repro.sgx.paging import AddressSpace
+from repro.sgx.secs import Secs, Tcs
+
+
+class Machine:
+    """A whole simulated system."""
+
+    def __init__(self, config: MachineConfig | None = None,
+                 validator_cls: type[BaselineValidator] = BaselineValidator,
+                 cost_params: CostParams | None = None) -> None:
+        self.config = config or MachineConfig()
+        self.phys = PhysicalMemory(self.config)
+        self.epc_alloc = EpcAllocator(self.config)
+        self.epcm = Epcm(self.config)
+        self.mee = Mee(self.config)
+        self.llc = LlcModel(self.config.llc_bytes, self.config.llc_ways,
+                            self.config.llc_line_bytes)
+        self.clock = SimClock()
+        self.cost = CostModel(self.clock, cost_params)
+        self.counters = Counters()
+        self.validator = validator_cls(self)
+        self.cores = [Core(self, i) for i in range(self.config.num_cores)]
+        self.enclaves: dict[int, Secs] = {}
+        self.tcs_registry: dict[tuple[int, int], Tcs] = {}
+        self._address_spaces: list[AddressSpace] = []
+        # Fused per-package secret EGETKEY/EREPORT derivations hang off.
+        self.root_secret = hashlib.sha256(b"repro-package-fuse").digest()
+        #: Optional structured tracer (repro.perf.trace.Tracer); None
+        #: keeps tracing free.
+        self.tracer = None
+
+    def trace(self, kind: str, core_id: int | None = None,
+              **details) -> None:
+        """Emit a structured trace event if a tracer is attached."""
+        if self.tracer is not None:
+            self.tracer.emit(self.clock.now_ns, kind, core_id, **details)
+
+    # -- registries -----------------------------------------------------------
+    def enclave(self, eid: int) -> Secs:
+        secs = self.enclaves.get(eid)
+        if secs is None:
+            raise SgxFault(f"no enclave with EID {eid:#x}")
+        return secs
+
+    def tcs(self, eid: int, vaddr: int) -> Tcs:
+        tcs = self.tcs_registry.get((eid, vaddr))
+        if tcs is None:
+            raise SgxFault(f"no TCS at {vaddr:#x} for enclave {eid:#x}")
+        return tcs
+
+    def new_address_space(self, name: str = "proc") -> AddressSpace:
+        space = AddressSpace(name)
+        self._address_spaces.append(space)
+        return space
+
+    # -- memory-side path (post-validation, LLC + MEE) ------------------------
+    def _charge_lines(self, paddr: int, size: int, *, writeback: bool) -> None:
+        """Charge LLC/MEE/DRAM costs for touching [paddr, paddr+size)."""
+        hits, misses = self.llc.access_range(paddr, size)
+        params = self.cost.params
+        if hits:
+            self.counters.bump(ctr.LLC_HIT, hits)
+            self.cost.charge("cache_hit", hits * params.cache_hit_ns)
+        if misses:
+            self.counters.bump(ctr.LLC_MISS, misses)
+            self.cost.charge("dram", misses * params.dram_access_ns)
+            if self.phys.in_prm(paddr):
+                self.cost.charge_mee_lines(misses)
+                which = ctr.MEE_LINE_ENC if writeback else ctr.MEE_LINE_DEC
+                self.counters.bump(which, misses)
+
+    def memside_read(self, paddr: int, size: int) -> bytes:
+        self._charge_lines(paddr, size, writeback=False)
+        if self.phys.in_prm(paddr) and self.config.mee_encrypt_bytes:
+            return self._read_prm_plaintext(paddr, size)
+        return self.phys.read(paddr, size)
+
+    def memside_write(self, paddr: int, data: bytes) -> None:
+        self._charge_lines(paddr, len(data), writeback=True)
+        if self.phys.in_prm(paddr) and self.config.mee_encrypt_bytes:
+            self._write_prm_plaintext(paddr, data)
+        else:
+            self.phys.write(paddr, data)
+
+    # PRM plaintext helpers: DRAM holds ciphertext; the package-internal
+    # view is plaintext.  Read-modify-write at cacheline granularity.
+    def _read_prm_plaintext(self, paddr: int, size: int) -> bytes:
+        out = bytearray()
+        line = CACHELINE_SIZE
+        addr = paddr
+        remaining = size
+        while remaining > 0:
+            line_addr = addr - (addr % line)
+            off = addr - line_addr
+            chunk = min(remaining, line - off)
+            cipher = self.phys.read(line_addr, line)
+            plain = self.mee.decrypt_line(line_addr, cipher)
+            out += plain[off:off + chunk]
+            addr += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def _write_prm_plaintext(self, paddr: int, data: bytes) -> None:
+        line = CACHELINE_SIZE
+        addr = paddr
+        pos = 0
+        while pos < len(data):
+            line_addr = addr - (addr % line)
+            off = addr - line_addr
+            chunk = min(len(data) - pos, line - off)
+            if off or chunk < line:
+                cipher = self.phys.read(line_addr, line)
+                plain = bytearray(self.mee.decrypt_line(line_addr, cipher))
+            else:
+                plain = bytearray(line)
+            plain[off:off + chunk] = data[pos:pos + chunk]
+            self.phys.write(line_addr,
+                            self.mee.encrypt_line(line_addr, bytes(plain)))
+            addr += chunk
+            pos += chunk
+
+    # -- EPC helpers for microcode (no TLB, no validation) ---------------------
+    def epc_read(self, paddr: int, size: int) -> bytes:
+        if not self.phys.in_epc(paddr):
+            raise SgxFault(f"{paddr:#x} is not in the EPC")
+        return self.memside_read(paddr, size)
+
+    def epc_write(self, paddr: int, data: bytes) -> None:
+        if not self.phys.in_epc(paddr):
+            raise SgxFault(f"{paddr:#x} is not in the EPC")
+        self.memside_write(paddr, data)
+
+    def dram_ciphertext(self, paddr: int, size: int) -> bytes:
+        """What a physical DRAM attacker observes (no MEE, no charging)."""
+        return self.phys.read(paddr, size)
+
+    # -- global TLB operations -------------------------------------------------
+    def flush_all_tlbs(self) -> None:
+        """IPI broadcast + flush on every core (the 'simplified, costlier'
+        shootdown of §IV-E)."""
+        for core in self.cores:
+            self.counters.bump(ctr.IPI)
+            self.cost.charge_event("ipi")
+            core.flush_tlb()
+
+    def cores_with_pfn(self, pfn: int) -> list[Core]:
+        """Cores whose TLB currently caches a translation to ``pfn``."""
+        return [c for c in self.cores
+                if any(e.pfn == pfn for e in c.tlb.entries())]
+
+    # -- debugging ---------------------------------------------------------------
+    def describe(self) -> str:  # pragma: no cover - debug aid
+        lines = [f"Machine({self.config.num_cores} cores, "
+                 f"EPC {self.config.epc_bytes >> 20} MiB, "
+                 f"validator={self.validator.name})"]
+        for eid, secs in sorted(self.enclaves.items()):
+            lines.append(
+                f"  enclave {eid:#x}: ELRANGE {secs.base_addr:#x}"
+                f"+{secs.size:#x} state={secs.state} "
+                f"outer={secs.outer_eid:#x} inner={len(secs.inner_eids)}")
+        return "\n".join(lines)

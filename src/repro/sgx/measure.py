@@ -1,0 +1,70 @@
+"""Enclave measurement (MRENCLAVE/MRSIGNER).
+
+ECREATE, EADD and EEXTEND each fold a record into a running hash; EINIT
+finalises it into MRENCLAVE.  The records capture exactly what the paper's
+§II-C says the digest covers: the initial meta-data (ELRANGE geometry), the
+virtual memory layout (each added page's virtual address, type and
+permissions), and the page *contents* (EEXTEND, in 256-byte chunks like
+real hardware).
+
+MRSIGNER is the hash of the author's public key, taken from the SIGSTRUCT
+at EINIT after the author signature over the expected measurement verifies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+EEXTEND_CHUNK = 256
+
+
+class MeasurementLog:
+    """Accumulates measurement records and produces the final digest.
+
+    The record list (not just the rolling hash) is kept so tests can
+    assert *what* was measured, and so the builder can pre-compute the
+    expected measurement off-line exactly the way a real signing tool does.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[bytes] = []
+
+    # -- record constructors -------------------------------------------------
+    def ecreate(self, base_addr: int, size: int) -> None:
+        self._records.append(
+            b"ECREATE" + base_addr.to_bytes(8, "little")
+            + size.to_bytes(8, "little"))
+
+    def eadd(self, vaddr: int, page_type: str, perms: int) -> None:
+        self._records.append(
+            b"EADD" + vaddr.to_bytes(8, "little")
+            + page_type.encode() + bytes([perms]))
+
+    def eextend(self, vaddr: int, content: bytes) -> None:
+        """Measure a page's contents in 256 B chunks (as real EEXTEND)."""
+        for off in range(0, len(content), EEXTEND_CHUNK):
+            chunk = content[off:off + EEXTEND_CHUNK]
+            self._records.append(
+                b"EEXTEND" + (vaddr + off).to_bytes(8, "little")
+                + hashlib.sha256(chunk).digest())
+
+    # -- finalisation ---------------------------------------------------------
+    def digest(self) -> bytes:
+        h = hashlib.sha256()
+        for record in self._records:
+            h.update(len(record).to_bytes(4, "little"))
+            h.update(record)
+        return h.digest()
+
+    def copy(self) -> "MeasurementLog":
+        clone = MeasurementLog()
+        clone._records = list(self._records)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def mrsigner_of(public_key_bytes: bytes) -> bytes:
+    """MRSIGNER = SHA-256 of the author's public key (paper §II-C)."""
+    return hashlib.sha256(public_key_bytes).digest()

@@ -1,0 +1,127 @@
+"""Memory Encryption Engine (MEE) model.
+
+The MEE sits between the LLC and DRAM: cachelines belonging to the PRM are
+encrypted on eviction to DRAM and decrypted+integrity-checked on fill.  Two
+properties matter for this reproduction:
+
+1. **Physical confidentiality** — a DRAM-level attacker (or a test reading
+   :class:`~repro.sgx.memory.PhysicalMemory` directly) must observe only
+   ciphertext for EPC pages.  We implement a real keystream cipher
+   (SHA-256-based CTR keystream over a per-boot key, at cacheline
+   granularity), so "read raw DRAM" tests genuinely see high-entropy bytes.
+
+2. **Cost asymmetry** — MEE work is charged *only on LLC misses*.  This is
+   what makes the nested channel of Fig. 11 fast: messages that fit in the
+   8 MiB LLC never touch the MEE at all, while the software AES-GCM
+   baseline pays per byte no matter what.
+
+A Merkle-style integrity tree over EPC cachelines detects DRAM tampering:
+each line's MAC is stored in MEE metadata (the non-EPC tail of the PRM, as
+on real parts), and a root MAC over the per-line MACs is kept on-chip.
+
+The MEE uses **one shared key for all enclaves** (paper §IV-F) — isolation
+between enclaves is the access-control automaton's job, not the MEE's.
+Nested enclaves therefore require zero MEE changes, which this module's
+API makes structurally evident: it has no notion of enclave identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import IntegrityViolation
+from repro.sgx.constants import CACHELINE_SIZE, MachineConfig
+
+
+class Mee:
+    """Cacheline-granularity encryption + integrity over the PRM."""
+
+    def __init__(self, config: MachineConfig, boot_key: bytes = b"") -> None:
+        self.config = config
+        # Per-boot random key; deterministic default keeps tests stable.
+        self.key = boot_key or hashlib.sha256(b"repro-mee-boot-key").digest()
+        self._mac_key = hashlib.sha256(self.key + b"mac").digest()
+        # line physical address -> MAC of current ciphertext (on-chip state
+        # in the model; real HW stores MACs in PRM metadata + counters).
+        self._line_macs: dict[int, bytes] = {}
+        self.lines_encrypted = 0
+        self.lines_decrypted = 0
+
+    # -- keystream ----------------------------------------------------------
+    def _keystream(self, line_addr: int, version: int) -> bytes:
+        block = hashlib.sha256(
+            self.key + line_addr.to_bytes(8, "little")
+            + version.to_bytes(8, "little")).digest()
+        out = block
+        while len(out) < CACHELINE_SIZE:
+            block = hashlib.sha256(block).digest()
+            out += block
+        return out[:CACHELINE_SIZE]
+
+    # line -> monotonically bumped version (anti-replay counter).
+    _versions: dict[int, int]
+
+    def _version(self, line_addr: int, bump: bool) -> int:
+        if not hasattr(self, "_versions"):
+            self._versions = {}
+        if bump:
+            self._versions[line_addr] = self._versions.get(line_addr, 0) + 1
+        return self._versions.get(line_addr, 0)
+
+    @staticmethod
+    def _xor(a: bytes, b: bytes) -> bytes:
+        return bytes(x ^ y for x, y in zip(a, b))
+
+    # -- line operations ------------------------------------------------------
+    def encrypt_line(self, line_addr: int, plaintext: bytes) -> bytes:
+        """Encrypt a 64 B line on LLC→DRAM eviction; records its MAC."""
+        if len(plaintext) != CACHELINE_SIZE:
+            raise ValueError("MEE operates on whole cachelines")
+        version = self._version(line_addr, bump=True)
+        ciphertext = self._xor(plaintext, self._keystream(line_addr, version))
+        self._line_macs[line_addr] = hmac.new(
+            self._mac_key,
+            line_addr.to_bytes(8, "little") + ciphertext,
+            hashlib.sha256).digest()
+        self.lines_encrypted += 1
+        return ciphertext
+
+    def decrypt_line(self, line_addr: int, ciphertext: bytes) -> bytes:
+        """Decrypt + integrity-check a line on DRAM→LLC fill."""
+        if len(ciphertext) != CACHELINE_SIZE:
+            raise ValueError("MEE operates on whole cachelines")
+        expected = self._line_macs.get(line_addr)
+        if expected is None:
+            # Never written through the MEE: a fill of an untouched line
+            # returns zeros (fresh EPC page contents).
+            self.lines_decrypted += 1
+            if any(ciphertext):
+                raise IntegrityViolation(
+                    f"DRAM tampering: line {line_addr:#x} modified "
+                    f"before first MEE write")
+            return bytes(CACHELINE_SIZE)
+        actual = hmac.new(self._mac_key,
+                          line_addr.to_bytes(8, "little") + ciphertext,
+                          hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, actual):
+            raise IntegrityViolation(
+                f"DRAM tampering detected on line {line_addr:#x}")
+        version = self._version(line_addr, bump=False)
+        self.lines_decrypted += 1
+        return self._xor(ciphertext, self._keystream(line_addr, version))
+
+    def root_mac(self) -> bytes:
+        """MAC over all line MACs — the on-chip integrity-tree root."""
+        h = hmac.new(self._mac_key, digestmod=hashlib.sha256)
+        for addr in sorted(self._line_macs):
+            h.update(addr.to_bytes(8, "little"))
+            h.update(self._line_macs[addr])
+        return h.digest()
+
+    def forget_page(self, page_addr: int) -> None:
+        """Drop per-line state for a reclaimed EPC page (EREMOVE/EWB)."""
+        for off in range(0, 4096, CACHELINE_SIZE):
+            self._line_macs.pop(page_addr + off, None)
+            if hasattr(self, "_versions"):
+                self._versions.pop(page_addr + off, None)

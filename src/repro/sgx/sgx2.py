@@ -1,0 +1,132 @@
+"""SGX2-style dynamic EPC allocation: EAUG / EACCEPT / EMODT-lite.
+
+The paper's §II footnote notes that "SGX2 allows dynamic EPC allocation
+to an existing enclave"; the evaluated design is SGX1-style (all pages
+added before EINIT).  This module implements the SGX2 mechanism so the
+simulator can also model dynamically growing enclaves — e.g. an outer
+enclave that enlarges its shared-channel region as inner enclaves join.
+
+Protocol (faithful to the two-phase SGX2 design):
+
+1. ``EAUG`` (privileged, driver-issued): the OS adds a *pending* zeroed
+   EPC page at a free virtual address inside the enclave's ELRANGE.
+   Pending pages are NOT accessible — the access automaton refuses them
+   (the EPCM entry carries ``pending=True``) so a malicious OS cannot
+   inject usable memory into an enclave unilaterally.
+2. ``EACCEPT`` (unprivileged, executed *by the enclave*): the enclave,
+   from inside, acknowledges the specific (vaddr, type) it expects.  On
+   success the page becomes a normal PT_REG page of the enclave.
+
+Security property tested in ``tests/sgx/test_sgx2.py``: a page the
+enclave never EACCEPTs is never readable, and EACCEPT validates that
+the pending page really is at the claimed address (no OS bait-and-
+switch).  For nested enclaves, EAUG-grown *outer* pages become readable
+by inner enclaves exactly like static outer pages — no extra mechanism
+(the Fig. 6 automaton only consults the EPCM, which ends up identical).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EnclaveStateError, GeneralProtectionFault, SgxFault
+from repro.sgx.constants import (PAGE_SIZE, PERM_RW, PT_REG,
+                                 ST_INITIALIZED)
+from repro.sgx.cpu import Core
+from repro.sgx.machine import Machine
+from repro.sgx.secs import Secs
+
+#: EPCM pending flags live in the entry's dict (EpcmEntry is a plain
+#: dataclass; we attach the SGX2 bit dynamically to avoid touching the
+#: SGX1 structure the paper's design holds fixed).
+_PENDING_ATTR = "sgx2_pending"
+
+
+def _is_pending(entry) -> bool:
+    return getattr(entry, _PENDING_ATTR, False)
+
+
+def _set_pending(entry, value: bool) -> None:
+    setattr(entry, _PENDING_ATTR, value)
+
+
+def eaug(machine: Machine, secs: Secs, vaddr: int,
+         perms: int = PERM_RW) -> int:
+    """OS-side: add a pending zeroed page to an initialised enclave."""
+    if secs.state != ST_INITIALIZED:
+        raise EnclaveStateError("EAUG requires an initialised enclave")
+    if vaddr % PAGE_SIZE:
+        raise GeneralProtectionFault("EAUG target must be page aligned")
+    if not secs.contains_vaddr(vaddr):
+        raise GeneralProtectionFault(
+            f"EAUG target {vaddr:#x} outside ELRANGE")
+    frame = machine.epc_alloc.alloc()
+    entry = machine.epcm.set(frame, eid=secs.eid, page_type=PT_REG,
+                             vaddr=vaddr, perms=perms)
+    # Pending: blocked from the access path until the enclave accepts.
+    entry.blocked = True
+    _set_pending(entry, True)
+    machine.epc_write(frame, bytes(PAGE_SIZE))
+    machine.cost.charge_event("eadd_page")
+    return frame
+
+
+def eaccept(machine: Machine, core: Core, vaddr: int) -> None:
+    """Enclave-side: accept a pending page at ``vaddr``.
+
+    Must run in enclave mode of the owning enclave — that is the whole
+    defence: only code *inside* the enclave, which knows what layout it
+    asked its runtime for, can turn pending memory into real memory.
+    """
+    if not core.in_enclave_mode:
+        raise GeneralProtectionFault("EACCEPT outside enclave mode")
+    secs = machine.enclave(core.current_eid)
+    if not secs.contains_vaddr(vaddr):
+        raise GeneralProtectionFault(
+            "EACCEPT target outside the current enclave's ELRANGE")
+    if core.address_space is None:
+        raise SgxFault("core has no address space")
+    paddr = core.address_space.translate(vaddr)
+    if paddr is None:
+        raise SgxFault("EACCEPT: OS has not mapped the pending page")
+    frame = paddr & ~(PAGE_SIZE - 1)
+    entry = machine.epcm.entry(frame)
+    if not entry.valid or entry.eid != secs.eid:
+        raise GeneralProtectionFault(
+            "EACCEPT: page does not belong to this enclave")
+    if not _is_pending(entry):
+        raise GeneralProtectionFault("EACCEPT: page is not pending")
+    if entry.vaddr != vaddr:
+        raise GeneralProtectionFault(
+            "EACCEPT: pending page recorded at a different address")
+    _set_pending(entry, False)
+    entry.blocked = False
+
+
+def grow_enclave(machine: Machine, kernel, handle, nbytes: int) -> int:
+    """Convenience: OS EAUGs + enclave EACCEPTs a contiguous region.
+
+    Returns the base virtual address of the new region.  The region is
+    carved from the unused tail of the ELRANGE (after the static image).
+    """
+    from repro.sgx import isa
+
+    secs = handle.secs
+    image_end = handle.base_addr + handle.image.size_bytes
+    lo, hi = secs.elrange()
+    pages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+    if image_end + pages * PAGE_SIZE > hi:
+        raise SgxFault("ELRANGE has no room to grow (fixed at ECREATE)")
+    base = image_end
+    proc = kernel.driver.loaded[secs.eid].proc
+    for i in range(pages):
+        vaddr = base + i * PAGE_SIZE
+        frame = eaug(machine, secs, vaddr)
+        proc.space.map_page(vaddr, frame)
+        kernel.driver.loaded[secs.eid].resident[vaddr] = frame
+    core = handle.host.core
+    isa.eenter(machine, core, secs, handle.idle_tcs())
+    try:
+        for i in range(pages):
+            eaccept(machine, core, base + i * PAGE_SIZE)
+    finally:
+        isa.eexit(machine, core)
+    return base

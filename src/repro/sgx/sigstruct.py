@@ -1,0 +1,101 @@
+"""SIGSTRUCT — the signed enclave certificate.
+
+The enclave author's signing tool produces a SIGSTRUCT carrying the
+*expected* measurement of the enclave, identity metadata, the author's
+public key and a signature over all of it.  EINIT verifies the signature,
+compares the expected measurement against the actual one accumulated by
+ECREATE/EADD/EEXTEND, and derives MRSIGNER from the public key.
+
+Nested-enclave extension (paper §IV-C): "the signed file of an inner or
+outer enclave must contain the expected measurement of the expected inner
+or outer enclave".  That is the ``expected_peer_digests`` field — a list of
+(MRENCLAVE, MRSIGNER) pairs naming the enclaves this one is willing to be
+associated with via NASSO.  A peer entry may wildcard the MRENCLAVE (empty
+bytes) to accept *any* enclave from a given signer, which is how the
+Fig. 10 experiment lets 500 App inner enclaves share one SSL outer image.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.sgx.measure import mrsigner_of
+
+#: Wildcard MRENCLAVE inside an expected-peer entry: match on signer only.
+ANY_MRENCLAVE = b""
+
+
+@dataclass(frozen=True)
+class Sigstruct:
+    enclave_name: str
+    expected_mrenclave: bytes
+    isv_prod_id: int
+    isv_svn: int
+    attributes: int
+    signer_pubkey: bytes
+    signature: bytes
+    expected_peer_digests: tuple[tuple[bytes, bytes], ...] = ()
+
+    @staticmethod
+    def _body(enclave_name: str, expected_mrenclave: bytes,
+              isv_prod_id: int, isv_svn: int, attributes: int,
+              signer_pubkey: bytes,
+              expected_peer_digests: tuple[tuple[bytes, bytes], ...]) -> bytes:
+        h = hashlib.sha256()
+        h.update(enclave_name.encode())
+        h.update(expected_mrenclave)
+        h.update(isv_prod_id.to_bytes(2, "little"))
+        h.update(isv_svn.to_bytes(2, "little"))
+        h.update(attributes.to_bytes(8, "little"))
+        h.update(signer_pubkey)
+        for mre, mrs in expected_peer_digests:
+            h.update(b"peer")
+            h.update(len(mre).to_bytes(1, "little"))
+            h.update(mre)
+            h.update(mrs)
+        return h.digest()
+
+    def signed_body(self) -> bytes:
+        return self._body(self.enclave_name, self.expected_mrenclave,
+                          self.isv_prod_id, self.isv_svn, self.attributes,
+                          self.signer_pubkey, self.expected_peer_digests)
+
+    def verify_signature(self) -> bool:
+        key = RsaPublicKey.from_bytes(self.signer_pubkey)
+        return key.verify(self.signed_body(), self.signature)
+
+    @property
+    def mrsigner(self) -> bytes:
+        return mrsigner_of(self.signer_pubkey)
+
+
+def sign_sigstruct(key: RsaPrivateKey, enclave_name: str,
+                   expected_mrenclave: bytes, *, isv_prod_id: int = 0,
+                   isv_svn: int = 0, attributes: int = 0,
+                   expected_peer_digests: tuple[tuple[bytes, bytes], ...] = (),
+                   ) -> Sigstruct:
+    """Author-side signing tool: produce a signed SIGSTRUCT."""
+    pub = key.public_key.to_bytes()
+    body = Sigstruct._body(enclave_name, expected_mrenclave, isv_prod_id,
+                           isv_svn, attributes, pub, expected_peer_digests)
+    return Sigstruct(
+        enclave_name=enclave_name,
+        expected_mrenclave=expected_mrenclave,
+        isv_prod_id=isv_prod_id,
+        isv_svn=isv_svn,
+        attributes=attributes,
+        signer_pubkey=pub,
+        signature=key.sign(body),
+        expected_peer_digests=expected_peer_digests,
+    )
+
+
+def peer_matches(expected: tuple[bytes, bytes],
+                 mrenclave: bytes, mrsigner: bytes) -> bool:
+    """Does an (expected_mrenclave, expected_mrsigner) entry accept a peer?"""
+    exp_mre, exp_mrs = expected
+    if exp_mrs != mrsigner:
+        return False
+    return exp_mre == ANY_MRENCLAVE or exp_mre == mrenclave

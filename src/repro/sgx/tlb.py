@@ -1,0 +1,81 @@
+"""Per-core TLB model.
+
+SGX's entire software-attack-surface defence for EPC memory hangs on one
+invariant (paper §II-B): **the TLB must only ever contain validated
+translations**.  Validation happens once, at fill time (TLB miss); after
+that, hits are trusted.  Consequently every transition that changes the
+security context (EENTER, EEXIT, NEENTER, NEEXIT, AEX) must flush the TLB,
+and EPC eviction must shoot down TLBs on every core that may cache a
+translation for the victim page.
+
+The model is a capacity-bounded LRU map from virtual page number to a
+:class:`TlbEntry`.  Entries additionally record which enclave context they
+were validated under — not because real hardware tags them (it flushes
+instead), but so the *simulator can detect* any violation of the
+flush-on-transition discipline: reading through an entry validated under a
+different context raises immediately in :meth:`lookup` assertions inside
+tests (see ``repro.core.invariants``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class TlbEntry:
+    vpn: int
+    pfn: int
+    perms: int
+    #: Enclave ID the validation ran under (0 = non-enclave mode).  Used
+    #: only by invariant checking, never by lookup logic.
+    context_eid: int
+
+
+class Tlb:
+    """Bounded LRU TLB."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("TLB capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, TlbEntry] = OrderedDict()
+        self.flush_count = 0
+
+    def lookup(self, vpn: int) -> TlbEntry | None:
+        ent = self._entries.get(vpn)
+        if ent is not None:
+            self._entries.move_to_end(vpn)
+        return ent
+
+    def insert(self, entry: TlbEntry) -> None:
+        self._entries[entry.vpn] = entry
+        self._entries.move_to_end(entry.vpn)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def flush(self) -> None:
+        self._entries.clear()
+        self.flush_count += 1
+
+    def invalidate_pfn(self, pfn: int) -> int:
+        """Drop every entry mapping to ``pfn``. Returns #dropped.
+
+        Real x86 cannot do this (no reverse index), which is exactly why
+        SGX eviction uses full flushes via IPIs; the method exists so tests
+        can prove that *partial* invalidation would be insufficient.
+        """
+        victims = [vpn for vpn, e in self._entries.items() if e.pfn == pfn]
+        for vpn in victims:
+            del self._entries[vpn]
+        return len(victims)
+
+    def entries(self) -> list[TlbEntry]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries

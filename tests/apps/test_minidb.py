@@ -1,0 +1,258 @@
+"""minidb SQL engine tests: lexer, parser, executor, indexes,
+transactions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.minidb import Database, SqlError, parse, tokenize
+from repro.apps.minidb import ast_nodes as ast
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT, "
+        "score REAL)")
+    database.execute("INSERT INTO users VALUES (1, 'alice', 9.5)")
+    database.execute("INSERT INTO users VALUES (2, 'bob', 7.0)")
+    database.execute("INSERT INTO users VALUES (3, 'carol', 8.25)")
+    return database
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT * FROM t WHERE x = 1")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["KEYWORD", "SYMBOL", "KEYWORD", "IDENT",
+                         "KEYWORD", "IDENT", "SYMBOL", "INT", "EOF"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("INSERT INTO t VALUES ('o''brien')")
+        strings = [t for t in tokens if t.kind == "STRING"]
+        assert strings[0].value == "o'brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT 'oops")
+
+    def test_negative_numbers_in_value_position(self):
+        tokens = tokenize("INSERT INTO t VALUES (-5, -2.5)")
+        numbers = [t.value for t in tokens if t.kind in ("INT", "FLOAT")]
+        assert numbers == ["-5", "-2.5"]
+
+    def test_comments_ignored(self):
+        tokens = tokenize("SELECT * FROM t -- trailing comment\n")
+        assert tokens[-1].kind == "EOF"
+        assert len(tokens) == 5
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select * from t")
+        assert tokens[0].kind == "KEYWORD" and tokens[0].value == "SELECT"
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @ FROM t")
+
+
+class TestParser:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].type_name == "TEXT"
+
+    def test_two_primary_keys_rejected(self):
+        with pytest.raises(SqlError):
+            parse("CREATE TABLE t (a INTEGER PRIMARY KEY, "
+                  "b INTEGER PRIMARY KEY)")
+
+    def test_select_with_everything(self):
+        stmt = parse("SELECT a, b FROM t WHERE a > 1 AND b = 'x' "
+                     "ORDER BY a DESC LIMIT 5")
+        assert stmt.columns == ("a", "b")
+        assert isinstance(stmt.where, ast.BoolExpr)
+        assert stmt.order_by == "a" and stmt.descending
+        assert stmt.limit == 5
+
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        assert stmt.count
+
+    def test_parenthesised_predicates(self):
+        stmt = parse("SELECT * FROM t WHERE (a = 1 OR a = 2) AND b < 3")
+        assert isinstance(stmt.where, ast.BoolExpr)
+        assert stmt.where.op == "AND"
+        assert stmt.where.left.op == "OR"
+
+    def test_ne_spellings(self):
+        for spelling in ("!=", "<>"):
+            stmt = parse(f"SELECT * FROM t WHERE a {spelling} 1")
+            assert stmt.where.op == "!="
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM t garbage")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlError):
+            parse("VACUUM")
+
+    def test_null_literal(self):
+        stmt = parse("INSERT INTO t VALUES (1, NULL)")
+        assert stmt.values == (1, None)
+
+
+class TestExecutor:
+    def test_select_star(self, db):
+        rows = db.execute("SELECT * FROM users ORDER BY id")
+        assert rows == [(1, "alice", 9.5), (2, "bob", 7.0),
+                        (3, "carol", 8.25)]
+
+    def test_projection(self, db):
+        assert db.execute("SELECT name FROM users WHERE id = 2") \
+            == [("bob",)]
+
+    def test_where_combinations(self, db):
+        rows = db.execute("SELECT id FROM users WHERE score >= 8.0 "
+                          "AND name != 'alice'")
+        assert rows == [(3,)]
+        rows = db.execute("SELECT id FROM users WHERE id = 1 OR id = 3")
+        assert rows == [(1,), (3,)]
+
+    def test_order_and_limit(self, db):
+        rows = db.execute("SELECT name FROM users ORDER BY score DESC "
+                          "LIMIT 2")
+        assert rows == [("alice",), ("carol",)]
+
+    def test_count(self, db):
+        assert db.execute("SELECT COUNT(*) FROM users") == [(3,)]
+        assert db.execute(
+            "SELECT COUNT(*) FROM users WHERE score < 8") == [(1,)]
+
+    def test_update_returns_affected(self, db):
+        assert db.execute("UPDATE users SET score = 1.0 "
+                          "WHERE score < 9") == 2
+        assert db.execute("SELECT COUNT(*) FROM users "
+                          "WHERE score = 1.0") == [(2,)]
+
+    def test_delete(self, db):
+        assert db.execute("DELETE FROM users WHERE id = 2") == 1
+        assert db.execute("SELECT COUNT(*) FROM users") == [(2,)]
+
+    def test_duplicate_primary_key_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("INSERT INTO users VALUES (1, 'dup', 0.0)")
+
+    def test_type_mismatch_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("INSERT INTO users VALUES ('one', 'x', 0.0)")
+
+    def test_int_coerced_to_real(self, db):
+        db.execute("INSERT INTO users VALUES (4, 'dave', 5)")
+        assert db.execute("SELECT score FROM users WHERE id = 4") \
+            == [(5.0,)]
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT * FROM nope")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT nope FROM users")
+
+    def test_null_handling(self, db):
+        db.execute("INSERT INTO users VALUES (5, NULL, NULL)")
+        assert db.execute("SELECT name FROM users WHERE id = 5") \
+            == [(None,)]
+        # NULL never satisfies ordering comparisons.
+        rows = db.execute("SELECT id FROM users WHERE score > 0")
+        assert (5,) not in rows
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE users")
+        with pytest.raises(SqlError):
+            db.execute("SELECT * FROM users")
+
+
+class TestIndexes:
+    def test_pk_lookup_uses_index(self, db):
+        table = db.table("users")
+        # Sanity: the PK index exists and the planner uses it (no scan).
+        assert "id" in table.indexes
+        rows = db.execute("SELECT name FROM users WHERE id = 3")
+        assert rows == [("carol",)]
+
+    def test_secondary_index_consistency(self, db):
+        db.execute("CREATE INDEX idx_name ON users (name)")
+        db.execute("INSERT INTO users VALUES (10, 'bob', 2.0)")
+        rows = db.execute("SELECT id FROM users WHERE name = 'bob'")
+        assert sorted(rows) == [(2,), (10,)]
+        db.execute("UPDATE users SET name = 'robert' WHERE id = 2")
+        rows = db.execute("SELECT id FROM users WHERE name = 'bob'")
+        assert rows == [(10,)]
+        db.execute("DELETE FROM users WHERE name = 'bob'")
+        assert db.execute("SELECT id FROM users WHERE name = 'bob'") == []
+
+    def test_duplicate_index_rejected(self, db):
+        db.execute("CREATE INDEX i1 ON users (name)")
+        with pytest.raises(SqlError):
+            db.execute("CREATE INDEX i2 ON users (name)")
+
+    @given(st.lists(st.tuples(st.integers(0, 30),
+                              st.sampled_from("abcde")),
+                    min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_index_matches_scan_property(self, pairs):
+        """Indexed equality lookups agree with full scans."""
+        db = Database()
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("CREATE INDEX iv ON t (v)")
+        inserted = set()
+        for key, value in pairs:
+            if key in inserted:
+                continue
+            inserted.add(key)
+            db.execute(f"INSERT INTO t VALUES ({key}, '{value}')")
+        for value in "abcde":
+            indexed = db.execute(f"SELECT k FROM t WHERE v = '{value}'")
+            table = db.table("t")
+            scan = sorted(
+                (row[0],) for row in table.rows.values()
+                if row[1] == value)
+            assert sorted(indexed) == scan
+
+
+class TestTransactions:
+    def test_rollback_restores(self, db):
+        db.execute("BEGIN")
+        db.execute("DELETE FROM users WHERE id = 1")
+        db.execute("UPDATE users SET name = 'x' WHERE id = 2")
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT name FROM users WHERE id = 1") \
+            == [("alice",)]
+        assert db.execute("SELECT name FROM users WHERE id = 2") \
+            == [("bob",)]
+
+    def test_commit_keeps(self, db):
+        db.execute("BEGIN")
+        db.execute("DELETE FROM users WHERE id = 1")
+        db.execute("COMMIT")
+        assert db.execute("SELECT COUNT(*) FROM users") == [(2,)]
+
+    def test_nested_transaction_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(SqlError):
+            db.execute("BEGIN")
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("COMMIT")
+
+    def test_rollback_restores_indexes_too(self, db):
+        db.execute("BEGIN")
+        db.execute("DELETE FROM users WHERE id = 2")
+        db.execute("ROLLBACK")
+        # Index-driven lookup still finds the restored row.
+        assert db.execute("SELECT name FROM users WHERE id = 2") \
+            == [("bob",)]

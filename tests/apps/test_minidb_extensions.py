@@ -1,0 +1,108 @@
+"""minidb extension tests: aggregates (SUM/AVG/MIN/MAX/COUNT(col))
+and the LIKE operator."""
+
+import pytest
+
+from repro.apps.minidb import Database, SqlError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE sales (id INTEGER PRIMARY KEY, "
+                     "region TEXT, amount REAL)")
+    rows = [(1, "north", 10.0), (2, "south", 20.0), (3, "north", 30.0),
+            (4, "east", None), (5, "northwest", 40.0)]
+    for row in rows:
+        rendered = ", ".join(
+            "NULL" if v is None else (f"'{v}'" if isinstance(v, str)
+                                      else str(v))
+            for v in row)
+        database.execute(f"INSERT INTO sales VALUES ({rendered})")
+    return database
+
+
+class TestAggregates:
+    def test_sum(self, db):
+        assert db.execute("SELECT SUM(amount) FROM sales") == [(100.0,)]
+
+    def test_avg(self, db):
+        assert db.execute("SELECT AVG(amount) FROM sales") == [(25.0,)]
+
+    def test_min_max(self, db):
+        assert db.execute("SELECT MIN(amount), MAX(amount) FROM sales") \
+            == [(10.0, 40.0)]
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT COUNT(amount) FROM sales") == [(4,)]
+
+    def test_count_star_still_works(self, db):
+        assert db.execute("SELECT COUNT(*) FROM sales") == [(5,)]
+
+    def test_aggregate_with_where(self, db):
+        assert db.execute("SELECT SUM(amount) FROM sales "
+                          "WHERE region = 'north'") == [(40.0,)]
+
+    def test_aggregate_over_empty_set_is_null(self, db):
+        assert db.execute("SELECT SUM(amount) FROM sales "
+                          "WHERE region = 'mars'") == [(None,)]
+
+    def test_multiple_aggregates(self, db):
+        result = db.execute(
+            "SELECT COUNT(*), SUM(amount), AVG(amount) FROM sales")
+        assert result == [(5, 100.0, 25.0)]
+
+    def test_mixing_aggregates_and_columns_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT SUM(amount), region FROM sales")
+
+    def test_aggregate_unknown_column(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT SUM(nope) FROM sales")
+
+
+class TestLike:
+    def test_prefix_wildcard(self, db):
+        rows = db.execute("SELECT id FROM sales WHERE region LIKE "
+                          "'north%'")
+        assert sorted(rows) == [(1,), (3,), (5,)]
+
+    def test_exact_without_wildcards(self, db):
+        rows = db.execute("SELECT id FROM sales WHERE region LIKE "
+                          "'south'")
+        assert rows == [(2,)]
+
+    def test_underscore_single_char(self, db):
+        rows = db.execute("SELECT id FROM sales WHERE region LIKE "
+                          "'_orth'")
+        assert sorted(rows) == [(1,), (3,)]
+
+    def test_case_insensitive(self, db):
+        rows = db.execute("SELECT id FROM sales WHERE region LIKE "
+                          "'NORTH'")
+        assert sorted(rows) == [(1,), (3,)]
+
+    def test_contains(self, db):
+        rows = db.execute("SELECT id FROM sales WHERE region LIKE "
+                          "'%wes%'")
+        assert rows == [(5,)]
+
+    def test_like_on_null_never_matches(self, db):
+        db.execute("INSERT INTO sales VALUES (9, NULL, 1.0)")
+        rows = db.execute("SELECT id FROM sales WHERE region LIKE '%'")
+        assert (9,) not in rows
+
+    def test_regex_metachars_are_literal(self, db):
+        db.execute("INSERT INTO sales VALUES (10, 'a.b', 1.0)")
+        db.execute("INSERT INTO sales VALUES (11, 'axb', 1.0)")
+        rows = db.execute("SELECT id FROM sales WHERE region LIKE 'a.b'")
+        assert rows == [(10,)]   # '.' must not act as a regex dot
+
+    def test_non_string_pattern_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("SELECT id FROM sales WHERE region LIKE 5")
+
+    def test_like_combined_with_and(self, db):
+        rows = db.execute("SELECT id FROM sales WHERE region LIKE "
+                          "'north%' AND amount > 15")
+        assert sorted(rows) == [(3,), (5,)]

@@ -1,0 +1,166 @@
+"""minissl tests: records, handshake (incl. rollback protection),
+record layer, and the heartbeat bug in isolation."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.minissl import records
+from repro.apps.minissl.client import SslClient
+from repro.apps.minissl.handshake import (CIPHER_GCM128, CIPHER_LEGACY,
+                                          ClientHello, ServerHello,
+                                          client_complete, finished_mac,
+                                          server_respond, verify_finished)
+from repro.apps.minissl.records import (VERSION_10, VERSION_12,
+                                        decode_heartbeat, decode_record,
+                                        encode_heartbeat)
+from repro.errors import ChannelError
+
+PSK = hashlib.sha256(b"test-psk").digest()
+NONCE_C = b"c" * 32
+NONCE_S = b"s" * 32
+
+
+class TestRecords:
+    def test_roundtrip(self):
+        record = records.Record(records.CT_APPLICATION, VERSION_12,
+                                b"payload")
+        decoded, rest = decode_record(record.encode())
+        assert decoded == record and rest == b""
+
+    def test_two_records_in_stream(self):
+        a = records.Record(records.CT_APPLICATION, VERSION_12, b"one")
+        b = records.Record(records.CT_HEARTBEAT, VERSION_12, b"two")
+        decoded_a, rest = decode_record(a.encode() + b.encode())
+        decoded_b, rest2 = decode_record(rest)
+        assert decoded_a.payload == b"one"
+        assert decoded_b.payload == b"two" and rest2 == b""
+
+    def test_truncated_header(self):
+        with pytest.raises(ChannelError):
+            decode_record(b"\x17\x03")
+
+    def test_truncated_payload(self):
+        record = records.Record(records.CT_APPLICATION, VERSION_12,
+                                b"payload").encode()
+        with pytest.raises(ChannelError):
+            decode_record(record[:-1])
+
+    def test_oversized_payload_rejected(self):
+        big = records.Record(records.CT_APPLICATION, VERSION_12,
+                             bytes(records.MAX_RECORD_PAYLOAD + 512))
+        with pytest.raises(ChannelError):
+            big.encode()
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_record_roundtrip_property(self, payload):
+        record = records.Record(records.CT_APPLICATION, VERSION_12,
+                                payload)
+        decoded, rest = decode_record(record.encode())
+        assert decoded.payload == payload and rest == b""
+
+
+class TestHeartbeatEncoding:
+    def test_honest_roundtrip(self):
+        wire = encode_heartbeat(records.HB_REQUEST, b"ping")
+        message_type, claimed, rest = decode_heartbeat(wire)
+        assert message_type == records.HB_REQUEST
+        assert claimed == 4
+        assert rest[:4] == b"ping"
+
+    def test_lying_length_survives_encoding(self):
+        """The wire format cannot stop the lie — only the consumer can."""
+        wire = encode_heartbeat(records.HB_REQUEST, b"x",
+                                claimed_length=4096)
+        _, claimed, _ = decode_heartbeat(wire)
+        assert claimed == 4096
+
+    def test_runt_heartbeat(self):
+        with pytest.raises(ChannelError):
+            decode_heartbeat(b"\x01")
+
+
+class TestHandshake:
+    def test_key_agreement(self):
+        hello = ClientHello(NONCE_C).encode()
+        server_hello, server_keys = server_respond(PSK, hello, NONCE_S)
+        client_keys = client_complete(PSK, hello, server_hello)
+        assert client_keys.client_write_key \
+            == server_keys.client_write_key
+        assert client_keys.server_write_key \
+            == server_keys.server_write_key
+        assert client_keys.version == VERSION_12
+        assert client_keys.cipher == CIPHER_GCM128
+
+    def test_finished_verifies(self):
+        hello = ClientHello(NONCE_C).encode()
+        server_hello, keys = server_respond(PSK, hello, NONCE_S)
+        tag = finished_mac(keys, "server")
+        client_keys = client_complete(PSK, hello, server_hello)
+        assert verify_finished(client_keys, "server", tag)
+        assert not verify_finished(client_keys, "client", tag)
+
+    def test_hello_codecs(self):
+        hello = ClientHello(NONCE_C, versions=(VERSION_10,),
+                            ciphers=(CIPHER_LEGACY,))
+        assert ClientHello.decode(hello.encode()) == hello
+        server_hello = ServerHello(NONCE_S, VERSION_12, CIPHER_GCM128)
+        assert ServerHello.decode(server_hello.encode()) == server_hello
+
+    def test_no_common_version(self):
+        hello = ClientHello(NONCE_C, versions=(0x0299,)).encode()
+        with pytest.raises(ChannelError):
+            server_respond(PSK, hello, NONCE_S)
+
+    def test_rollback_attack_breaks_finished(self):
+        """A MITM rewrites the offer to force the legacy version; the
+        transcript mismatch breaks the Finished MAC."""
+        honest_hello = ClientHello(NONCE_C).encode()
+        downgraded = ClientHello(NONCE_C, versions=(VERSION_10,),
+                                 ciphers=(CIPHER_LEGACY,)).encode()
+        server_hello, server_keys = server_respond(PSK, downgraded,
+                                                   NONCE_S)
+        assert server_keys.version == VERSION_10  # server was fooled...
+        # ...but the client derives keys over what *it* actually sent,
+        # so the server's Finished does not verify client-side.
+        tag = finished_mac(server_keys, "server")
+        client_keys = client_complete(PSK, honest_hello, server_hello)
+        assert not verify_finished(client_keys, "server", tag)
+
+    def test_wrong_psk_breaks_finished(self):
+        hello = ClientHello(NONCE_C).encode()
+        server_hello, server_keys = server_respond(PSK, hello, NONCE_S)
+        other_keys = client_complete(b"wrong-psk", hello, server_hello)
+        assert not verify_finished(other_keys, "server",
+                                   finished_mac(server_keys, "server"))
+
+
+class TestClientRecordLayer:
+    def _connected_pair(self):
+        client = SslClient(psk=PSK, nonce=NONCE_C)
+        hello = client.hello()
+        server_hello, server_keys = server_respond(PSK, hello, NONCE_S)
+        client.finish(server_hello + finished_mac(server_keys, "server"))
+        return client, server_keys
+
+    def test_client_seal_server_opens(self):
+        from repro.crypto.gcm import AesGcm
+        client, server_keys = self._connected_pair()
+        wire = client.seal_record(records.CT_APPLICATION, b"hi server")
+        record, rest = decode_record(wire)
+        plaintext = AesGcm(server_keys.client_write_key).open(
+            (0).to_bytes(12, "big"), record.payload)
+        assert plaintext == b"hi server"
+
+    def test_extract_leak(self):
+        payload = encode_heartbeat(records.HB_RESPONSE,
+                                   b"PROBE" + b"LEAKED-BYTES")
+        leak = SslClient.extract_leak(payload, b"PROBE")
+        assert leak == b"LEAKED-BYTES"
+
+    def test_extract_leak_rejects_non_response(self):
+        payload = encode_heartbeat(records.HB_REQUEST, b"x")
+        with pytest.raises(ChannelError):
+            SslClient.extract_leak(payload, b"x")

@@ -1,0 +1,117 @@
+"""Session tickets, alerts, and key-update tests for minissl."""
+
+import hashlib
+
+import pytest
+
+from repro.apps.minissl.handshake import ClientHello, server_respond
+from repro.apps.minissl.resumption import (AL_FATAL, AL_WARNING, Alert,
+                                           ALERT_CLOSE_NOTIFY,
+                                           TicketIssuer, ratchet_key,
+                                           resume_keys)
+from repro.crypto.gcm import AesGcm
+from repro.errors import ChannelError
+
+PSK = hashlib.sha256(b"resume-psk").digest()
+STEK = hashlib.sha256(b"server-ticket-key").digest()
+
+
+def full_handshake():
+    hello = ClientHello(b"c" * 32).encode()
+    _, keys = server_respond(PSK, hello, b"s" * 32)
+    return keys
+
+
+class TestTickets:
+    def test_issue_redeem_roundtrip(self):
+        issuer = TicketIssuer(STEK)
+        keys = full_handshake()
+        ticket = issuer.issue(keys)
+        version, cipher, secret = issuer.redeem(ticket)
+        assert version == keys.version
+        assert cipher == keys.cipher
+        assert len(secret) == 32
+
+    def test_resumed_sessions_agree_and_are_fresh(self):
+        issuer = TicketIssuer(STEK)
+        keys = full_handshake()
+        _, _, secret = issuer.redeem(issuer.issue(keys))
+        client_side = resume_keys(secret, b"cn" * 16, b"sn" * 16,
+                                  keys.version, keys.cipher)
+        server_side = resume_keys(secret, b"cn" * 16, b"sn" * 16,
+                                  keys.version, keys.cipher)
+        assert client_side.client_write_key \
+            == server_side.client_write_key
+        # Fresh nonces -> fresh keys, never the original session's.
+        assert client_side.client_write_key != keys.client_write_key
+
+    def test_different_nonces_different_keys(self):
+        issuer = TicketIssuer(STEK)
+        _, _, secret = issuer.redeem(issuer.issue(full_handshake()))
+        a = resume_keys(secret, b"n1" * 16, b"sn" * 16, 0x0303,
+                        "AES128-GCM")
+        b = resume_keys(secret, b"n2" * 16, b"sn" * 16, 0x0303,
+                        "AES128-GCM")
+        assert a.client_write_key != b.client_write_key
+
+    def test_forged_ticket_rejected(self):
+        issuer = TicketIssuer(STEK)
+        ticket = bytearray(issuer.issue(full_handshake()))
+        ticket[-1] ^= 1
+        with pytest.raises(ChannelError):
+            issuer.redeem(bytes(ticket))
+
+    def test_ticket_from_other_server_rejected(self):
+        """Tickets are bound to the issuing server's STEK."""
+        ticket = TicketIssuer(STEK).issue(full_handshake())
+        other = TicketIssuer(hashlib.sha256(b"other-stek").digest())
+        with pytest.raises(ChannelError):
+            other.redeem(ticket)
+
+    def test_runt_ticket_rejected(self):
+        with pytest.raises(ChannelError):
+            TicketIssuer(STEK).redeem(b"tiny")
+
+    def test_tickets_are_single_session_scoped_but_reusable(self):
+        """A ticket redeems repeatedly (stateless server) — freshness
+        comes from the per-resumption nonces, not ticket consumption."""
+        issuer = TicketIssuer(STEK)
+        ticket = issuer.issue(full_handshake())
+        first = issuer.redeem(ticket)
+        second = issuer.redeem(ticket)
+        assert first == second
+
+
+class TestAlerts:
+    def test_roundtrip(self):
+        alert = Alert(AL_FATAL, ALERT_CLOSE_NOTIFY)
+        assert Alert.decode(alert.encode()) == alert
+
+    def test_fatal_flag(self):
+        assert Alert(AL_FATAL, 20).fatal
+        assert not Alert(AL_WARNING, 0).fatal
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ChannelError):
+            Alert.decode(b"\x01")
+
+
+class TestKeyUpdate:
+    def test_ratchet_changes_key(self):
+        key = b"0123456789abcdef"
+        assert ratchet_key(key) != key
+        assert len(ratchet_key(key)) == 16
+
+    def test_ratchet_is_one_way_chain(self):
+        k0 = b"0123456789abcdef"
+        k1 = ratchet_key(k0)
+        k2 = ratchet_key(k1)
+        assert len({bytes(k0), k1, k2}) == 3
+
+    def test_old_key_cannot_read_new_traffic(self):
+        k0 = b"0123456789abcdef"
+        k1 = ratchet_key(k0)
+        sealed = AesGcm(k1).seal(bytes(12), b"post-update traffic")
+        from repro.errors import CryptoError
+        with pytest.raises(CryptoError):
+            AesGcm(k0).open(bytes(12), sealed)

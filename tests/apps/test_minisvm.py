@@ -1,0 +1,134 @@
+"""minisvm tests: kernels, SMO training, multi-class voting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.minisvm import (SvmError, linear_kernel, make_kernel,
+                                rbf_kernel, svm_predict, svm_train,
+                                train_binary)
+
+
+class TestKernels:
+    def test_linear_is_dot_product(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[1.0, 0.0]])
+        assert np.allclose(linear_kernel(a, b), [[1.0], [3.0]])
+
+    def test_rbf_of_identical_points_is_one(self):
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        gram = rbf_kernel(x, x, gamma=0.7)
+        assert np.allclose(np.diag(gram), 1.0)
+
+    def test_rbf_decays_with_distance(self):
+        near = rbf_kernel(np.array([[0.0]]), np.array([[0.1]]), 1.0)
+        far = rbf_kernel(np.array([[0.0]]), np.array([[3.0]]), 1.0)
+        assert near > far > 0
+
+    def test_rbf_symmetric(self):
+        x = np.random.default_rng(1).normal(size=(6, 2))
+        gram = rbf_kernel(x, x, 0.5)
+        assert np.allclose(gram, gram.T)
+
+    def test_make_kernel_unknown(self):
+        with pytest.raises(SvmError):
+            make_kernel("polynomial-of-doom")
+
+
+def _separable(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    x_pos = rng.normal(loc=[2.0, 2.0], size=(n // 2, 2))
+    x_neg = rng.normal(loc=[-2.0, -2.0], size=(n // 2, 2))
+    x = np.vstack([x_pos, x_neg])
+    y = np.array([1.0] * (n // 2) + [-1.0] * (n // 2))
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+class TestBinarySmo:
+    def test_separable_linear(self):
+        x, y = _separable()
+        model = train_binary(x, y, kernel="linear")
+        assert np.all(model.predict(x) == y)
+
+    def test_separable_rbf(self):
+        x, y = _separable()
+        model = train_binary(x, y, kernel="rbf", gamma=0.5)
+        assert np.mean(model.predict(x) == y) >= 0.95
+
+    def test_xor_needs_rbf(self):
+        """XOR is the classic non-linearly-separable case."""
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        x = np.repeat(x, 10, axis=0) \
+            + np.random.default_rng(3).normal(0, 0.05, (40, 2))
+        y = np.array([-1, 1, 1, -1] * 10, dtype=float)
+        y = y[np.argsort(np.tile(np.arange(4), 10), kind="stable")]
+        rbf = train_binary(x, y, kernel="rbf", gamma=4.0, c=10.0)
+        assert np.mean(rbf.predict(x) == y) >= 0.9
+
+    def test_deterministic_given_seed(self):
+        x, y = _separable()
+        a = train_binary(x, y, seed=7)
+        b = train_binary(x, y, seed=7)
+        assert np.allclose(a.coefficients, b.coefficients)
+        assert a.bias == b.bias
+
+    def test_support_vectors_subset(self):
+        x, y = _separable()
+        model = train_binary(x, y, kernel="linear")
+        assert 0 < len(model.support_vectors) <= len(x)
+
+    def test_bad_labels_rejected(self):
+        x, _ = _separable()
+        with pytest.raises(SvmError):
+            train_binary(x, np.zeros(len(x)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SvmError):
+            train_binary(np.zeros((4, 2)), np.ones(3))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=5, deadline=None)
+    def test_decision_consistent_with_predict(self, seed):
+        x, y = _separable(seed=seed)
+        model = train_binary(x, y, kernel="linear", seed=seed)
+        decision = model.decision(x)
+        assert np.all(np.where(decision >= 0, 1, -1) == model.predict(x))
+
+
+class TestMultiClass:
+    def _three_class(self, n=60, seed=5):
+        rng = np.random.default_rng(seed)
+        centers = np.array([[3, 0], [-3, 0], [0, 4]], dtype=float)
+        x = np.vstack([rng.normal(c, 0.6, size=(n // 3, 2))
+                       for c in centers])
+        y = np.repeat([1, 2, 3], n // 3)
+        return x, y
+
+    def test_one_vs_one_machine_count(self):
+        x, y = self._three_class()
+        model = svm_train(x, y, kernel="linear")
+        assert len(model.machines) == 3  # C(3,2)
+        assert model.classes == (1, 2, 3)
+
+    def test_three_class_accuracy(self):
+        x, y = self._three_class()
+        model = svm_train(x, y, kernel="rbf", gamma=0.5)
+        assert model.accuracy(x, y) >= 0.95
+
+    def test_svm_predict_free_function(self):
+        x, y = self._three_class()
+        model = svm_train(x, y, kernel="linear")
+        assert np.all(svm_predict(model, x) == model.predict(x))
+
+    def test_single_class_rejected(self):
+        x = np.zeros((10, 2))
+        with pytest.raises(SvmError):
+            svm_train(x, np.ones(10))
+
+    def test_total_support_vectors(self):
+        x, y = self._three_class()
+        model = svm_train(x, y, kernel="linear")
+        assert model.total_support_vectors \
+            == sum(len(m.support_vectors)
+                   for m in model.machines.values())

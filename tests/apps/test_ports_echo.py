@@ -1,0 +1,93 @@
+"""Echo-server port integration tests (case study VI-A)."""
+
+import hashlib
+
+import pytest
+
+from repro.apps.minissl.client import SslClient
+from repro.apps.minissl.records import CT_APPLICATION
+from repro.apps.ports.echo import MonolithicEchoServer, NestedEchoServer
+from repro.core import NestedValidator, audit_machine
+from repro.os import Kernel
+from repro.sdk import EnclaveHost
+from repro.sgx import Machine
+
+PSK = hashlib.sha256(b"echo-demo-psk").digest()
+
+
+def fresh_host():
+    machine = Machine(validator_cls=NestedValidator)
+    return EnclaveHost(machine, Kernel(machine))
+
+
+def connect(server):
+    client = SslClient(psk=PSK, nonce=bytes(32))
+    response = server.accept(client.hello())
+    server.client_finished(client.finish(response))
+    return client
+
+
+@pytest.mark.parametrize("server_cls", [MonolithicEchoServer,
+                                        NestedEchoServer])
+class TestBothLayouts:
+    def test_echo_roundtrip(self, server_cls):
+        server = server_cls(fresh_host())
+        client = connect(server)
+        for payload in (b"x", b"hello" * 100, bytes(4096)):
+            wire = client.seal_record(CT_APPLICATION, payload)
+            record = client.open_record(server.handle_wire(wire))
+            assert record.payload == payload
+
+    def test_honest_heartbeat(self, server_cls):
+        from repro.apps.minissl.records import CT_HEARTBEAT
+        server = server_cls(fresh_host())
+        client = connect(server)
+        wire = client.heartbeat_request(b"are you alive?")
+        record = client.open_record(server.handle_wire(wire))
+        assert record.content_type == CT_HEARTBEAT
+        assert b"are you alive?" in record.payload
+
+    def test_invariants_clean_after_traffic(self, server_cls):
+        host = fresh_host()
+        server = server_cls(host)
+        client = connect(server)
+        for _ in range(5):
+            wire = client.seal_record(CT_APPLICATION, b"traffic")
+            client.open_record(server.handle_wire(wire))
+        assert audit_machine(host.machine) == []
+
+
+class TestLayoutDifferences:
+    def test_nested_uses_n_calls(self):
+        host = fresh_host()
+        server = NestedEchoServer(host)
+        client = connect(server)
+        snap = host.machine.counters.snapshot()
+        client.open_record(server.handle_wire(
+            client.seal_record(CT_APPLICATION, b"msg")))
+        delta = host.machine.counters.delta_since(snap)
+        assert delta.get("n_ecall", 0) >= 1
+
+    def test_monolithic_uses_no_n_calls(self):
+        host = fresh_host()
+        server = MonolithicEchoServer(host)
+        client = connect(server)
+        snap = host.machine.counters.snapshot()
+        client.open_record(server.handle_wire(
+            client.seal_record(CT_APPLICATION, b"msg")))
+        delta = host.machine.counters.delta_since(snap)
+        assert "n_ecall" not in delta and "n_ocall" not in delta
+
+    def test_secret_lives_in_inner_enclave(self):
+        host = fresh_host()
+        server = NestedEchoServer(host)
+        addr = server.store_secret(b"secret")
+        assert server.app.secs.contains_vaddr(addr)
+        assert not server.front.secs.contains_vaddr(addr)
+
+    def test_monolithic_secret_shares_library_enclave(self):
+        host = fresh_host()
+        server = MonolithicEchoServer(host)
+        addr = server.store_secret(b"secret")
+        assert server.front is server.app
+        assert server.front.secs.contains_vaddr(addr)

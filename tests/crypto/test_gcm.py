@@ -1,0 +1,105 @@
+"""AES-GCM tests against NIST SP 800-38D vectors and AEAD laws."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.gcm import AesGcm, _gf_mult
+from repro.errors import CryptoError
+
+
+class TestNistVectors:
+    """Known-answer tests (NIST GCM spec test cases 1-4, AES-128)."""
+
+    def test_case_1_empty(self):
+        gcm = AesGcm(bytes(16))
+        sealed = gcm.seal(bytes(12), b"")
+        assert sealed.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_case_2_zero_block(self):
+        gcm = AesGcm(bytes(16))
+        sealed = gcm.seal(bytes(12), bytes(16))
+        assert sealed.hex() == (
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf")
+
+    def test_case_3_four_blocks(self):
+        key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+        iv = bytes.fromhex("cafebabefacedbaddecaf888")
+        pt = bytes.fromhex(
+            "d9313225f88406e5a55909c5aff5269a"
+            "86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525"
+            "b16aedf5aa0de657ba637b391aafd255")
+        sealed = AesGcm(key).seal(iv, pt)
+        assert sealed[:len(pt)].hex() == (
+            "42831ec2217774244b7221b784d0d49c"
+            "e3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa05"
+            "1ba30b396a0aac973d58e091473f5985")
+        assert sealed[len(pt):].hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+    def test_case_4_with_aad(self):
+        key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+        iv = bytes.fromhex("cafebabefacedbaddecaf888")
+        pt = bytes.fromhex(
+            "d9313225f88406e5a55909c5aff5269a"
+            "86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525"
+            "b16aedf5aa0de657ba637b39")
+        aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+        sealed = AesGcm(key).seal(iv, pt, aad)
+        assert sealed[len(pt):].hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+
+
+class TestAeadLaws:
+    @given(st.binary(max_size=200), st.binary(max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_open_inverts_seal(self, plaintext, aad):
+        gcm = AesGcm(bytes(range(16)))
+        nonce = b"nonce-123456"
+        assert gcm.open(nonce, gcm.seal(nonce, plaintext, aad), aad) \
+            == plaintext
+
+    def test_tampered_ciphertext_rejected(self):
+        gcm = AesGcm(bytes(16))
+        sealed = bytearray(gcm.seal(bytes(12), b"attack at dawn"))
+        sealed[0] ^= 1
+        with pytest.raises(CryptoError):
+            gcm.open(bytes(12), bytes(sealed))
+
+    def test_tampered_tag_rejected(self):
+        gcm = AesGcm(bytes(16))
+        sealed = bytearray(gcm.seal(bytes(12), b"attack at dawn"))
+        sealed[-1] ^= 1
+        with pytest.raises(CryptoError):
+            gcm.open(bytes(12), bytes(sealed))
+
+    def test_wrong_aad_rejected(self):
+        gcm = AesGcm(bytes(16))
+        sealed = gcm.seal(bytes(12), b"payload", b"aad-1")
+        with pytest.raises(CryptoError):
+            gcm.open(bytes(12), sealed, b"aad-2")
+
+    def test_wrong_nonce_rejected(self):
+        gcm = AesGcm(bytes(16))
+        sealed = gcm.seal(bytes(12), b"payload")
+        with pytest.raises(CryptoError):
+            gcm.open(b"x" * 12, sealed)
+
+    def test_runt_message_rejected(self):
+        with pytest.raises(CryptoError):
+            AesGcm(bytes(16)).open(bytes(12), b"short")
+
+
+class TestGf128:
+    def test_mult_identity(self):
+        # The GCM field's multiplicative identity is x^0 = MSB-first 1<<127.
+        one = 1 << 127
+        assert _gf_mult(one, 0xDEADBEEF) == 0xDEADBEEF
+
+    def test_mult_commutes(self):
+        a, b = 0x1234567890ABCDEF, 0xFEDCBA0987654321
+        assert _gf_mult(a, b) == _gf_mult(b, a)
+
+    def test_mult_zero_annihilates(self):
+        assert _gf_mult(0, 0xFFFF) == 0

@@ -1,0 +1,32 @@
+"""Tests for the `python -m repro.experiments` CLI runner."""
+
+import pytest
+
+from repro.experiments.__main__ import _registry, main
+
+
+class TestRegistry:
+    def test_quick_and_full_cover_same_names(self):
+        assert set(_registry(False)) == set(_registry(True))
+
+    def test_all_paper_artifacts_present(self):
+        names = set(_registry(False))
+        for wanted in ("table2", "table3", "table4", "table5", "table6",
+                       "table7", "fig7", "fig9", "fig10", "fig11"):
+            assert wanted in names
+
+
+class TestMain:
+    def test_runs_a_subset(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "cod-rna" in out
+
+    def test_prefix_match(self, capsys):
+        assert main(["table3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_unknown_name_errors(self, capsys):
+        assert main(["figure-99"]) == 1
+        assert "no experiment matches" in capsys.readouterr().out

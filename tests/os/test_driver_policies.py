@@ -1,0 +1,130 @@
+"""Driver policy tests: same-process NASSO constraint and the EPC
+pressure daemon."""
+
+import pytest
+
+from repro.core import NestedValidator
+from repro.errors import SgxFault
+from repro.os import Kernel
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sgx import Machine
+from repro.sgx.constants import PAGE_SIZE, SmallMachineConfig
+
+EDL = """
+enclave {
+    trusted {
+        public int touch(int addr);
+    };
+};
+"""
+
+
+def touch(ctx, addr):
+    return int.from_bytes(ctx.read(addr, 8), "little")
+
+
+def build_pair_images():
+    key = developer_key("policies")
+    outer_builder = EnclaveBuilder("p-outer", parse_edl(EDL),
+                                   signing_key=key)
+    outer_builder.add_entry("touch", touch)
+    outer_probe = outer_builder.build()
+    inner_builder = EnclaveBuilder("p-inner", parse_edl(EDL),
+                                   signing_key=key)
+    inner_builder.add_entry("touch", touch)
+    inner_builder.expect_peer(outer_probe.sigstruct.expected_mrenclave,
+                              outer_probe.sigstruct.mrsigner)
+    inner_image = inner_builder.build()
+    outer_builder.expect_peer(inner_image.sigstruct.expected_mrenclave,
+                              inner_image.sigstruct.mrsigner)
+    return outer_builder.build(), inner_image
+
+
+class TestSameProcessConstraint:
+    def test_cross_process_nasso_rejected(self):
+        machine = Machine(SmallMachineConfig(),
+                          validator_cls=NestedValidator)
+        kernel = Kernel(machine)
+        host_a = EnclaveHost(machine, kernel)
+        host_b = EnclaveHost(machine, kernel)   # a different process
+        outer_image, inner_image = build_pair_images()
+        outer = host_a.load(outer_image)
+        inner = host_b.load(inner_image)
+        with pytest.raises(SgxFault, match="same process"):
+            kernel.driver.associate(inner.secs, outer.secs)
+
+    def test_same_process_nasso_allowed(self):
+        machine = Machine(SmallMachineConfig(),
+                          validator_cls=NestedValidator)
+        kernel = Kernel(machine)
+        host = EnclaveHost(machine, kernel)
+        outer_image, inner_image = build_pair_images()
+        outer = host.load(outer_image)
+        inner = host.load(inner_image)
+        host.associate(inner, outer)
+        assert inner.secs.outer_eid == outer.eid
+
+    def test_unloaded_enclave_rejected(self):
+        machine = Machine(SmallMachineConfig(),
+                          validator_cls=NestedValidator)
+        kernel = Kernel(machine)
+        host = EnclaveHost(machine, kernel)
+        outer_image, inner_image = build_pair_images()
+        outer = host.load(outer_image)
+        inner = host.load(inner_image)
+        host.unload(inner)
+        with pytest.raises(SgxFault):
+            kernel.driver.associate(inner.secs, outer.secs)
+
+
+class TestEpcPressureDaemon:
+    def _world(self, heap_pages=8):
+        machine = Machine(SmallMachineConfig(),
+                          validator_cls=NestedValidator)
+        kernel = Kernel(machine)
+        host = EnclaveHost(machine, kernel)
+        builder = EnclaveBuilder(
+            "pressure", parse_edl(EDL),
+            signing_key=developer_key("pressure"),
+            heap_bytes=heap_pages * PAGE_SIZE)
+        builder.add_entry("touch", touch)
+        handle = host.load(builder.build())
+        machine.flush_all_tlbs()
+        return machine, kernel, host, handle
+
+    def test_reclaims_to_target(self):
+        machine, kernel, host, handle = self._world()
+        free_before = machine.epc_alloc.free_pages
+        target = free_before + 4
+        evicted = kernel.driver.reclaim_epc(target)
+        assert evicted >= 4
+        assert machine.epc_alloc.free_pages >= target
+
+    def test_reclaimed_pages_reload_transparently(self):
+        machine, kernel, host, handle = self._world()
+        heap_top = handle.base_addr + handle.image.heap_offset \
+            + handle.image.heap_bytes - PAGE_SIZE
+        handle.ecall("touch", handle.heap.base)   # heap still usable
+        kernel.driver.reclaim_epc(machine.epc_alloc.free_pages + 2)
+        # The evicted high heap pages fault + reload on next use.
+        entry = kernel.driver.loaded[handle.eid]
+        assert entry.evicted
+        for vaddr in list(entry.evicted):
+            assert kernel.driver.handle_page_fault(handle.secs, vaddr)
+        assert not entry.evicted
+
+    def test_noop_when_already_free(self):
+        machine, kernel, host, handle = self._world()
+        assert kernel.driver.reclaim_epc(1) == 0
+
+    def test_never_touches_code_or_tcs(self):
+        machine, kernel, host, handle = self._world(heap_pages=4)
+        kernel.driver.reclaim_epc(machine.epc_alloc.free_pages + 4)
+        heap_base = handle.base_addr + handle.image.heap_offset
+        entry = kernel.driver.loaded[handle.eid]
+        for vaddr in entry.evicted:
+            assert vaddr >= heap_base
+        # The enclave still executes (code pages resident).
+        for vaddr in list(entry.evicted):
+            kernel.driver.handle_page_fault(handle.secs, vaddr)
+        assert handle.ecall("touch", handle.heap.base) is not None

@@ -1,0 +1,124 @@
+"""Failure injection: EPC exhaustion, tampered eviction blobs, and
+integrity violations at awkward moments.
+
+SGX failure modes must dead-end safely: a failed load may leak no
+partially-initialised enclave into the registry, a tampered sealed page
+must never re-enter the EPC, and integrity violations must surface as
+faults rather than silent data corruption.
+"""
+
+import pytest
+
+from repro.core import NestedValidator
+from repro.errors import IntegrityViolation, SgxFault
+from repro.os import Kernel
+from repro.os.malicious import dram_tamper
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sgx import Machine
+from repro.sgx.constants import (PAGE_SIZE, SmallMachineConfig,
+                                 ST_INITIALIZED)
+
+EDL = """
+enclave {
+    trusted {
+        public int noop(void);
+    };
+};
+"""
+
+
+def _image(name, heap_pages=4):
+    builder = EnclaveBuilder(name, parse_edl(EDL, name=name),
+                             signing_key=developer_key(name),
+                             heap_bytes=heap_pages * PAGE_SIZE)
+    builder.add_entry("noop", lambda ctx: 0)
+    return builder.build()
+
+
+class TestEpcExhaustion:
+    def test_loading_past_epc_capacity_raises(self):
+        """SmallMachineConfig has a 1 MiB EPC (256 pages); loading
+        enclaves until it overflows must raise, not wedge."""
+        machine = Machine(SmallMachineConfig(),
+                          validator_cls=NestedValidator)
+        host = EnclaveHost(machine, Kernel(machine))
+        image = _image("filler", heap_pages=16)
+        loaded = []
+        with pytest.raises(SgxFault):
+            for i in range(64):
+                loaded.append(host.load(image))
+        assert loaded  # some fit before exhaustion
+
+    def test_loaded_enclaves_still_work_after_exhaustion(self):
+        machine = Machine(SmallMachineConfig(),
+                          validator_cls=NestedValidator)
+        host = EnclaveHost(machine, Kernel(machine))
+        image = _image("filler2", heap_pages=16)
+        loaded = []
+        try:
+            for i in range(64):
+                loaded.append(host.load(image))
+        except SgxFault:
+            pass
+        # Everything that finished loading is intact and callable.
+        for handle in loaded:
+            if handle.secs.state == ST_INITIALIZED:
+                assert handle.ecall("noop") == 0
+
+    def test_unload_frees_room_for_reload(self):
+        machine = Machine(SmallMachineConfig(),
+                          validator_cls=NestedValidator)
+        host = EnclaveHost(machine, Kernel(machine))
+        image = _image("recycle", heap_pages=16)
+        loaded = []
+        try:
+            for i in range(64):
+                loaded.append(host.load(image))
+        except SgxFault:
+            pass
+        complete = [h for h in loaded
+                    if h.secs.state == ST_INITIALIZED
+                    and h in host.handles]
+        host.unload(complete[0])
+        replacement = host.load(image)   # fits again
+        assert replacement.ecall("noop") == 0
+
+
+class TestEvictionFailureModes:
+    def _world(self):
+        machine = Machine(SmallMachineConfig(),
+                          validator_cls=NestedValidator)
+        host = EnclaveHost(machine, Kernel(machine))
+        handle = host.load(_image("evict-fail"))
+        machine.flush_all_tlbs()
+        return machine, host, handle
+
+    def test_tampered_blob_never_reenters(self):
+        machine, host, handle = self._world()
+        target = handle.heap.base & ~(PAGE_SIZE - 1)
+        host.kernel.driver.evict_page(handle.secs, target)
+        entry = host.kernel.driver.loaded[handle.eid]
+        blob = entry.evicted[target]
+        tampered = type(blob)(**{**blob.__dict__,
+                                 "ciphertext": bytes(PAGE_SIZE)})
+        entry.evicted[target] = tampered
+        with pytest.raises(SgxFault):
+            host.kernel.driver.reload_page(handle.secs, target)
+        # The frame was never allocated to the enclave.
+        assert target not in entry.resident
+
+    def test_dram_tamper_mid_session_faults_not_corrupts(self):
+        machine, host, handle = self._world()
+        target = handle.heap.base
+        # Write through the enclave, tamper underneath, then read.
+        from repro.sgx import isa
+        isa.eenter(machine, host.core, handle.secs, handle.idle_tcs())
+        host.core.write(target, b"critical-state!!" * 4)
+        isa.eexit(machine, host.core)
+        frame = host.proc.space.translate(target)
+        machine.llc.flush()
+        dram_tamper(machine, frame, flip_mask=0x80)
+        isa.eenter(machine, host.core, handle.secs, handle.idle_tcs())
+        with pytest.raises(IntegrityViolation):
+            host.core.read(target, 16)
+        isa.eexit(machine, host.core)

@@ -1,0 +1,135 @@
+"""Malicious-OS page-table attacks against loaded enclaves.
+
+These drive the helpers in repro.os.malicious through real deployments
+and assert the access automaton (not luck) stops each attack.
+"""
+
+import pytest
+
+from repro.core import NestedValidator
+from repro.errors import AccessViolation, IntegrityViolation, PageFault
+from repro.os import Kernel
+from repro.os.malicious import (dram_tamper, remap_epc_at_wrong_va,
+                                remap_to_attacker_frame,
+                                remap_to_foreign_epc)
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sgx import Machine
+from repro.sgx.constants import PAGE_SIZE, SmallMachineConfig
+
+EDL = """
+enclave {
+    trusted {
+        public int read_at(int addr);
+        public int write_at(int addr, int value);
+    };
+};
+"""
+
+
+def read_at(ctx, addr):
+    return int.from_bytes(ctx.read(addr, 8), "little")
+
+
+def write_at(ctx, addr, value):
+    ctx.write(addr, value.to_bytes(8, "little"))
+    return 0
+
+
+@pytest.fixture
+def world():
+    machine = Machine(SmallMachineConfig(),
+                      validator_cls=NestedValidator)
+    host = EnclaveHost(machine, Kernel(machine))
+
+    def make(name):
+        builder = EnclaveBuilder(name, parse_edl(EDL, name=name),
+                                 signing_key=developer_key(name))
+        builder.add_entry("read_at", read_at)
+        builder.add_entry("write_at", write_at)
+        return host.load(builder.build())
+
+    victim = make("victim")
+    attacker_encl = make("attacker-enclave")
+    return machine, host, victim, attacker_encl
+
+
+class TestPageTableAttacks:
+    def test_remap_elrange_to_attacker_frame(self, world):
+        """OS points an enclave heap VA at attacker DRAM with planted
+        data: the enclave must #PF, never read the plant."""
+        machine, host, victim, attacker_encl = world
+        target = victim.heap.base & ~(PAGE_SIZE - 1)
+        machine.flush_all_tlbs()
+        frame = remap_to_attacker_frame(host.kernel, host.proc, target)
+        machine.phys.write(frame, (0x41414141).to_bytes(8, "little"))
+        with pytest.raises(PageFault):
+            victim.ecall("read_at", target)
+
+    def test_alias_foreign_epc_into_attacker_enclave(self, world):
+        """Attacker enclave's OS friend aliases the victim's EPC frame
+        into the attacker's page table: EPCM owner check aborts."""
+        machine, host, victim, attacker_encl = world
+        victim_frame = host.proc.space.translate(
+            victim.heap.base & ~(PAGE_SIZE - 1))
+        alias_va = 0x7000000
+        remap_to_foreign_epc(host.proc, alias_va, victim_frame)
+        machine.flush_all_tlbs()
+        with pytest.raises(AccessViolation):
+            attacker_encl.ecall("read_at", alias_va)
+
+    def test_own_page_at_wrong_va(self, world):
+        """Remapping an enclave's own EPC page to a different VA inside
+        its ELRANGE: the EPCM VA check aborts (translation attack)."""
+        machine, host, victim, attacker_encl = world
+        page_a = victim.heap.base & ~(PAGE_SIZE - 1)
+        page_b = page_a + PAGE_SIZE
+        frame_a = host.proc.space.translate(page_a)
+        machine.flush_all_tlbs()
+        remap_epc_at_wrong_va(host.proc, page_b, frame_a)
+        with pytest.raises(AccessViolation):
+            victim.ecall("read_at", page_b)
+
+    def test_swap_two_enclave_pages(self, world):
+        """Swapping the frames of two pages of the same enclave is also
+        a VA mismatch in both directions."""
+        machine, host, victim, attacker_encl = world
+        page_a = victim.heap.base & ~(PAGE_SIZE - 1)
+        page_b = page_a + PAGE_SIZE
+        frame_a = host.proc.space.translate(page_a)
+        frame_b = host.proc.space.translate(page_b)
+        machine.flush_all_tlbs()
+        host.proc.space.map_page(page_a, frame_b)
+        host.proc.space.map_page(page_b, frame_a)
+        for page in (page_a, page_b):
+            with pytest.raises(AccessViolation):
+                victim.ecall("read_at", page)
+
+    def test_honest_remap_after_restore_works(self, world):
+        machine, host, victim, attacker_encl = world
+        page = victim.heap.base & ~(PAGE_SIZE - 1)
+        frame = host.proc.space.translate(page)
+        victim.ecall("write_at", page, 77)
+        machine.flush_all_tlbs()
+        remap_to_attacker_frame(host.kernel, host.proc, page)
+        host.proc.space.map_page(page, frame)   # OS restores it
+        assert victim.ecall("read_at", page) == 77
+
+
+class TestPhysicalAttacks:
+    def test_dram_tamper_detected(self, world):
+        machine, host, victim, attacker_encl = world
+        page = victim.heap.base & ~(PAGE_SIZE - 1)
+        victim.ecall("write_at", page, 1234)
+        frame = host.proc.space.translate(page)
+        machine.llc.flush()   # force the next read through the MEE
+        dram_tamper(machine, frame)
+        with pytest.raises(IntegrityViolation):
+            victim.ecall("read_at", page)
+
+    def test_dram_is_ciphertext(self, world):
+        machine, host, victim, attacker_encl = world
+        page = victim.heap.base & ~(PAGE_SIZE - 1)
+        victim.ecall("write_at", page, 0x5345_4352_4554)  # 'SECRET'
+        frame = host.proc.space.translate(page)
+        raw = machine.dram_ciphertext(frame, 64)
+        assert (0x5345_4352_4554).to_bytes(8, "little") not in raw

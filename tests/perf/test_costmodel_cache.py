@@ -1,0 +1,148 @@
+"""Cost model, simulated clock, LLC model, and counter tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.cache import LlcModel
+from repro.perf.costmodel import CostModel, CostParams, SimClock
+from repro.perf.counters import Counters
+
+
+class TestClock:
+    def test_monotone(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance(0.0)
+        assert clock.now_ns == 5.0
+
+    def test_no_time_travel(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+
+class TestCostModel:
+    def test_charge_event_uses_params(self):
+        model = CostModel(params=CostParams(ecall_ns=123.0))
+        model.charge_event("ecall")
+        assert model.clock.now_ns == 123.0
+        assert model.breakdown["ecall"] == 123.0
+
+    def test_charge_gcm_includes_setup(self):
+        model = CostModel(params=CostParams(gcm_byte_ns=2.0,
+                                            gcm_setup_ns=100.0))
+        model.charge_gcm(50)
+        assert model.clock.now_ns == 200.0
+
+    def test_breakdown_accumulates(self):
+        model = CostModel()
+        model.charge("x", 1.0)
+        model.charge("x", 2.0)
+        model.charge("y", 5.0)
+        assert model.snapshot() == {"x": 3.0, "y": 5.0}
+        model.reset_breakdown()
+        assert model.snapshot() == {}
+        # resetting the breakdown must NOT rewind the clock
+        assert model.clock.now_ns == 8.0
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(AttributeError):
+            CostModel().charge_event("warp_drive")
+
+    def test_table2_calibration_defaults(self):
+        params = CostParams()
+        assert params.ecall_ns == 1250.0      # paper Table II
+        assert params.n_ecall_ns == 1110.0
+        assert params.n_ocall_ns == 1060.0
+        assert params.hw_ecall_ns == 3450.0
+
+
+class TestLlc:
+    def test_miss_then_hit(self):
+        llc = LlcModel(size_bytes=1024, ways=2, line_bytes=64)
+        assert not llc.access(0x100)
+        assert llc.access(0x100)
+        assert llc.access(0x13F)   # same line
+        assert llc.hits == 2 and llc.misses == 1
+
+    def test_set_conflict_eviction(self):
+        llc = LlcModel(size_bytes=256, ways=2, line_bytes=64)
+        # num_sets = 2; lines mapping to set 0: addresses 0, 128, 256...
+        llc.access(0)
+        llc.access(128)
+        llc.access(256)            # evicts line 0 (LRU)
+        assert not llc.access(0)
+        assert llc.evictions >= 1
+
+    def test_lru_order(self):
+        llc = LlcModel(size_bytes=256, ways=2, line_bytes=64)
+        llc.access(0)
+        llc.access(128)
+        llc.access(0)              # 0 becomes MRU
+        llc.access(256)            # evicts 128, not 0
+        assert llc.contains(0)
+        assert not llc.contains(128)
+
+    def test_access_range_counts(self):
+        llc = LlcModel(size_bytes=4096, ways=4, line_bytes=64)
+        hits, misses = llc.access_range(0, 256)      # 4 lines
+        assert (hits, misses) == (0, 4)
+        hits, misses = llc.access_range(0, 256)
+        assert (hits, misses) == (4, 0)
+
+    def test_unaligned_range(self):
+        llc = LlcModel(size_bytes=4096, ways=4, line_bytes=64)
+        hits, misses = llc.access_range(60, 8)       # straddles 2 lines
+        assert misses == 2
+
+    def test_empty_range(self):
+        llc = LlcModel(size_bytes=4096, ways=4)
+        assert llc.access_range(0, 0) == (0, 0)
+
+    def test_flush(self):
+        llc = LlcModel(size_bytes=4096, ways=4)
+        llc.access(0)
+        llc.flush()
+        assert not llc.contains(0)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            LlcModel(size_bytes=1000, ways=3, line_bytes=64)
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_bound_property(self, addrs):
+        llc = LlcModel(size_bytes=1024, ways=2, line_bytes=64)
+        for addr in addrs:
+            llc.access(addr)
+        resident = sum(len(s) for s in llc._sets)
+        assert resident <= llc.capacity_lines
+        assert llc.hits + llc.misses == len(addrs)
+
+
+class TestCounters:
+    def test_bump_get(self):
+        counters = Counters()
+        counters.bump("x")
+        counters.bump("x", 4)
+        assert counters.get("x") == 5
+        assert counters.get("missing") == 0
+
+    def test_delta_since(self):
+        counters = Counters()
+        counters.bump("a", 2)
+        snap = counters.snapshot()
+        counters.bump("a")
+        counters.bump("b", 3)
+        assert counters.delta_since(snap) == {"a": 1, "b": 3}
+
+    def test_delta_omits_zeros(self):
+        counters = Counters()
+        counters.bump("a")
+        snap = counters.snapshot()
+        assert counters.delta_since(snap) == {}
+
+    def test_reset(self):
+        counters = Counters()
+        counters.bump("a")
+        counters.reset()
+        assert counters.snapshot() == {}

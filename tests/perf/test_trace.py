@@ -1,0 +1,116 @@
+"""Structured event-trace tests: the Tracer itself plus its machine
+integration (transition/fault/eviction sequences)."""
+
+import pytest
+
+from repro.core import NestedValidator
+from repro.errors import AccessViolation
+from repro.os import Kernel
+from repro.perf.trace import TraceEvent, Tracer
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sgx import Machine
+from repro.sgx.constants import PAGE_SIZE, SmallMachineConfig
+
+EDL = """
+enclave {
+    trusted {
+        public int read_at(int addr);
+    };
+};
+"""
+
+
+class TestTracerUnit:
+    def test_emit_and_query(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "A", 0, x=1)
+        tracer.emit(2.0, "B", None, y=2)
+        tracer.emit(3.0, "A", 1)
+        assert len(tracer.of_kind("A")) == 2
+        assert tracer.kinds() == ["A", "B", "A"]
+        assert tracer.first_index("B") == 1
+
+    def test_happened_before(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "first")
+        tracer.emit(2.0, "second")
+        assert tracer.happened_before("first", "second")
+        assert not tracer.happened_before("second", "first")
+        assert tracer.happened_before("first", "never-happened")
+        assert not tracer.happened_before("never-happened", "second")
+
+    def test_capacity_bound(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.emit(float(i), "E")
+        assert len(tracer.events) == 3
+        assert tracer.dropped == 2
+
+    def test_render(self):
+        tracer = Tracer()
+        tracer.emit(1500.0, "EENTER", 0, eid="0x1000")
+        text = tracer.render()
+        assert "EENTER" in text and "eid=0x1000" in text
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "E")
+        tracer.clear()
+        assert tracer.events == [] and tracer.dropped == 0
+
+
+class TestMachineIntegration:
+    @pytest.fixture
+    def world(self):
+        machine = Machine(SmallMachineConfig(),
+                          validator_cls=NestedValidator)
+        machine.tracer = Tracer()
+        host = EnclaveHost(machine, Kernel(machine))
+        builder = EnclaveBuilder("traced", parse_edl(EDL),
+                                 signing_key=developer_key("traced"))
+        builder.add_entry(
+            "read_at",
+            lambda ctx, addr: int.from_bytes(ctx.read(addr, 8),
+                                             "little"))
+        handle = host.load(builder.build())
+        machine.tracer.clear()   # drop the load-time noise
+        return machine, host, handle
+
+    def test_transition_events(self, world):
+        machine, host, handle = world
+        handle.ecall("read_at", handle.heap.base)
+        kinds = machine.tracer.kinds()
+        assert "EENTER" in kinds and "EEXIT" in kinds
+        assert machine.tracer.happened_before("EENTER", "EEXIT")
+
+    def test_violation_traced_with_reason(self, world):
+        machine, host, handle = world
+        with pytest.raises(AccessViolation):
+            host.core.read(handle.heap.base, 8)
+        violations = machine.tracer.of_kind("ACCESS_VIOLATION")
+        assert violations
+        assert "PRM" in violations[0].details["reason"]
+
+    def test_eviction_sequence(self, world):
+        """The §IV-E ordering: AEX of tracked threads precedes EWB."""
+        machine, host, handle = world
+        from repro.sgx import isa
+        target = (handle.heap.base & ~(PAGE_SIZE - 1)) + PAGE_SIZE
+        core = machine.cores[1]
+        core.address_space = host.proc.space
+        isa.eenter(machine, core, handle.secs, handle.idle_tcs())
+        core.read(target, 8)
+        machine.tracer.clear()
+        host.kernel.driver.evict_page(handle.secs, target)
+        assert machine.tracer.happened_before("AEX", "EWB")
+
+    def test_nasso_traced(self, world):
+        machine, host, handle = world
+        from repro.apps.ports.fastcomm import NestedChannelDeployment
+        machine.tracer.clear()
+        NestedChannelDeployment(host, footprint_bytes=1 << 16)
+        assert len(machine.tracer.of_kind("NASSO")) == 2
+
+    def test_no_tracer_is_free(self):
+        machine = Machine(SmallMachineConfig())
+        machine.trace("anything", 0, key="value")  # must not raise

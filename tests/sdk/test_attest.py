@@ -1,0 +1,128 @@
+"""Local-attestation handshake and nested constellation attestation."""
+
+import pytest
+
+from repro.core import NestedValidator
+from repro.errors import MeasurementMismatch
+from repro.os import Kernel
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sdk.attest import (AttestationPolicy, attest_constellation,
+                              mutual_attest)
+from repro.sgx import Machine
+
+SIMPLE_EDL = "enclave { trusted { public int noop(void); }; };"
+NESTED_EDL = """
+enclave {
+    trusted { public int noop(void); };
+    nested_trusted { public int inner_noop(void); };
+};
+"""
+
+
+def build(host, name, key, edl=SIMPLE_EDL, peers=()):
+    builder = EnclaveBuilder(name, parse_edl(edl, name=name),
+                             signing_key=key)
+    builder.add_entry("noop", lambda ctx: 0)
+    if "nested_trusted" in edl:
+        builder.add_entry("inner_noop", lambda ctx: 0)
+    for mre, mrs in peers:
+        builder.expect_peer(mre, mrs)
+    return host.load(builder.build())
+
+
+@pytest.fixture
+def host():
+    machine = Machine(validator_cls=NestedValidator)
+    return EnclaveHost(machine, Kernel(machine))
+
+
+class TestMutualAttest:
+    def test_happy_path_same_key(self, host):
+        key = developer_key("attest")
+        a = build(host, "a", key)
+        b = build(host, "b", key)
+        policy = AttestationPolicy(mrsigner=a.secs.mrsigner)
+        key_a, key_b = mutual_attest(a, b, policy, policy)
+        assert key_a == key_b
+        assert len(key_a) == 32
+
+    def test_policy_rejects_wrong_signer(self, host):
+        a = build(host, "a", developer_key("good"))
+        b = build(host, "b", developer_key("evil"))
+        policy_a = AttestationPolicy(mrsigner=a.secs.mrsigner)
+        policy_b = AttestationPolicy(mrsigner=b.secs.mrsigner)
+        with pytest.raises(MeasurementMismatch):
+            mutual_attest(a, b, policy_a, policy_b)
+
+    def test_policy_by_exact_measurement(self, host):
+        key = developer_key("attest")
+        a = build(host, "a", key)
+        b = build(host, "b", key)
+        policy_a = AttestationPolicy(mrenclave=b.secs.mrenclave)
+        policy_b = AttestationPolicy(mrenclave=a.secs.mrenclave)
+        key_a, key_b = mutual_attest(a, b, policy_a, policy_b)
+        assert key_a == key_b
+
+    def test_empty_policy_rejects_everyone(self, host):
+        key = developer_key("attest")
+        a = build(host, "a", key)
+        b = build(host, "b", key)
+        with pytest.raises(MeasurementMismatch):
+            mutual_attest(a, b, AttestationPolicy(),
+                          AttestationPolicy())
+
+    def test_keys_differ_across_nonces(self, host):
+        key = developer_key("attest")
+        a = build(host, "a", key)
+        b = build(host, "b", key)
+        policy = AttestationPolicy(mrsigner=a.secs.mrsigner)
+        key_1, _ = mutual_attest(a, b, policy, policy, nonce=b"n1")
+        key_2, _ = mutual_attest(a, b, policy, policy, nonce=b"n2")
+        assert key_1 != key_2
+
+
+class TestConstellationAttest:
+    def _constellation(self, host):
+        key = developer_key("constellation")
+        inner_builder = EnclaveBuilder(
+            "inner", parse_edl(NESTED_EDL, name="inner"),
+            signing_key=key)
+        inner_builder.add_entry("noop", lambda ctx: 0)
+        inner_builder.add_entry("inner_noop", lambda ctx: 0)
+        outer_builder = EnclaveBuilder(
+            "outer", parse_edl(SIMPLE_EDL, name="outer"),
+            signing_key=key)
+        outer_builder.add_entry("noop", lambda ctx: 0)
+        outer_probe = outer_builder.build()
+        inner_builder.expect_peer(
+            outer_probe.sigstruct.expected_mrenclave,
+            outer_probe.sigstruct.mrsigner)
+        inner_image = inner_builder.build()
+        outer_builder.expect_peer(
+            inner_image.sigstruct.expected_mrenclave,
+            inner_image.sigstruct.mrsigner)
+        outer = host.load(outer_builder.build())
+        inner = host.load(inner_image)
+        host.associate(inner, outer)
+        verifier = build(host, "verifier", key)
+        return outer, inner, verifier
+
+    def test_outer_report_names_inner(self, host):
+        outer, inner, verifier = self._constellation(host)
+        view = attest_constellation(
+            verifier, outer, expected_inners=(inner.secs.mrenclave,))
+        assert view.mrenclave == outer.secs.mrenclave
+        assert (inner.secs.mrenclave, inner.secs.mrsigner) \
+            in view.inner_measurements
+
+    def test_missing_expected_inner_rejected(self, host):
+        outer, inner, verifier = self._constellation(host)
+        with pytest.raises(MeasurementMismatch):
+            attest_constellation(verifier, outer,
+                                 expected_inners=(b"\x42" * 32,))
+
+    def test_inner_report_names_outer(self, host):
+        outer, inner, verifier = self._constellation(host)
+        view = attest_constellation(verifier, inner)
+        assert (outer.secs.mrenclave, outer.secs.mrsigner) \
+            in view.outer_measurements

@@ -1,0 +1,97 @@
+"""EDL parser tests, including the paper's nested sections."""
+
+import pytest
+
+from repro.errors import EdlSyntaxError
+from repro.sdk.edl import EdlSpec, parse_edl
+
+FULL_EDL = """
+// SSL server enclave interfaces
+enclave {
+    trusted {
+        public bytes handle_record(bytes rec);
+        public int shutdown(void);
+    };
+    untrusted {
+        void log_line(str line);
+        int send_packet(bytes payload);
+    };
+    nested_trusted {
+        public bytes filter_private(bytes raw);
+    };
+    nested_untrusted {
+        bytes ssl_write(bytes payload);
+        bytes ssl_read(int nbytes);
+    };
+};
+"""
+
+
+class TestParsing:
+    def test_all_sections_parsed(self):
+        spec = parse_edl(FULL_EDL, name="ssl")
+        assert set(spec.trusted) == {"handle_record", "shutdown"}
+        assert set(spec.untrusted) == {"log_line", "send_packet"}
+        assert set(spec.nested_trusted) == {"filter_private"}
+        assert set(spec.nested_untrusted) == {"ssl_write", "ssl_read"}
+
+    def test_signature_details(self):
+        spec = parse_edl(FULL_EDL)
+        func = spec.trusted["handle_record"]
+        assert func.public
+        assert func.return_type == "bytes"
+        assert func.params == (("bytes", "rec"),)
+        assert func.signature() == "bytes handle_record(bytes rec)"
+
+    def test_void_params(self):
+        spec = parse_edl(FULL_EDL)
+        assert spec.trusted["shutdown"].params == ()
+
+    def test_comments_stripped(self):
+        spec = parse_edl("enclave { trusted { // c\n public int f(void); }; };")
+        assert "f" in spec.trusted
+
+    def test_minimal_enclave(self):
+        spec = parse_edl("enclave { trusted { public void go(void); }; };")
+        assert spec.untrusted == {} and spec.nested_trusted == {}
+
+    def test_loc_counts_declarations(self):
+        spec = parse_edl(FULL_EDL)
+        # 2 (enclave braces) + 4 sections * 2 + 7 functions
+        assert spec.loc() == 2 + 8 + 7
+
+
+class TestErrors:
+    def test_missing_enclave_block(self):
+        with pytest.raises(EdlSyntaxError):
+            parse_edl("trusted { public void f(void); };")
+
+    def test_unknown_section(self):
+        with pytest.raises(EdlSyntaxError):
+            parse_edl("enclave { sneaky { public void f(void); }; };")
+
+    def test_unknown_type(self):
+        with pytest.raises(EdlSyntaxError):
+            parse_edl("enclave { trusted { public widget f(void); }; };")
+
+    def test_unknown_param_type(self):
+        with pytest.raises(EdlSyntaxError):
+            parse_edl("enclave { trusted { public int f(widget w); }; };")
+
+    def test_duplicate_function(self):
+        with pytest.raises(EdlSyntaxError):
+            parse_edl("enclave { trusted { public int f(void); "
+                      "public int f(int x); }; };")
+
+    def test_garbage_declaration(self):
+        with pytest.raises(EdlSyntaxError):
+            parse_edl("enclave { trusted { not a function at all; }; };")
+
+    def test_empty_enclave_block(self):
+        with pytest.raises(EdlSyntaxError):
+            parse_edl("enclave { };")
+
+    def test_section_lookup_validates(self):
+        spec = EdlSpec()
+        with pytest.raises(EdlSyntaxError):
+            spec.section("wormhole")

@@ -1,0 +1,144 @@
+"""EnclaveHeap allocator tests: adjacency, splitting, coalescing —
+the properties the Heartbleed case study depends on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SdkError
+from repro.sdk.heap import EnclaveHeap, _HDR
+from repro.sgx.constants import PERM_RW, PT_REG, PT_SECS, PAGE_SIZE, \
+    SmallMachineConfig, ST_INITIALIZED
+from repro.sgx.machine import Machine
+from repro.sgx.secs import Secs
+
+
+@pytest.fixture
+def world():
+    """A core running inside an enclave with an 8-page heap."""
+    machine = Machine(SmallMachineConfig())
+    space = machine.new_address_space()
+    secs_frame = machine.epc_alloc.alloc()
+    machine.epcm.set(secs_frame, eid=0, page_type=PT_SECS, vaddr=0)
+    secs = Secs(eid=secs_frame, base_addr=0x100000, size=8 * PAGE_SIZE,
+                state=ST_INITIALIZED)
+    machine.enclaves[secs_frame] = secs
+    for i in range(8):
+        frame = machine.epc_alloc.alloc()
+        machine.epcm.set(frame, eid=secs.eid, page_type=PT_REG,
+                         vaddr=0x100000 + i * PAGE_SIZE, perms=PERM_RW)
+        space.map_page(0x100000 + i * PAGE_SIZE, frame)
+    core = machine.cores[0]
+    core.address_space = space
+    core.enclave_stack = [secs.eid]
+    heap = EnclaveHeap(0x100000, 8 * PAGE_SIZE)
+    heap.initialise(core)
+    return machine, core, heap
+
+
+class TestAllocation:
+    def test_malloc_returns_writable_region(self, world):
+        machine, core, heap = world
+        addr = heap.malloc(core, 64)
+        core.write(addr, b"x" * 64)
+        assert core.read(addr, 64) == b"x" * 64
+
+    def test_sequential_allocations_are_adjacent(self, world):
+        """First-fit from a single free block: blocks are contiguous —
+        the adjacency Heartbleed's over-read walks across."""
+        machine, core, heap = world
+        a = heap.malloc(core, 48)
+        b = heap.malloc(core, 48)
+        assert b == a + 48 + _HDR  # 48 is already 16-aligned
+
+    def test_free_then_malloc_reuses_first_fit(self, world):
+        machine, core, heap = world
+        a = heap.malloc(core, 100)
+        heap.malloc(core, 100)  # guard so coalescing can't merge forward
+        heap.free(core, a)
+        c = heap.malloc(core, 80)
+        assert c == a
+
+    def test_free_does_not_scrub(self, world):
+        """Freed payload bytes survive — the Heartbleed precondition."""
+        machine, core, heap = world
+        a = heap.malloc(core, 64)
+        core.write(a, b"SECRET-KEY-MATERIAL" + bytes(45))
+        heap.free(core, a)
+        assert b"SECRET-KEY-MATERIAL" in core.read(a, 64)
+
+    def test_exhaustion_raises(self, world):
+        machine, core, heap = world
+        with pytest.raises(SdkError):
+            heap.malloc(core, 9 * PAGE_SIZE)
+
+    def test_invalid_free_rejected(self, world):
+        machine, core, heap = world
+        addr = heap.malloc(core, 32)
+        with pytest.raises(SdkError):
+            heap.free(core, addr + 16)  # not a block start
+
+    def test_non_positive_malloc_rejected(self, world):
+        machine, core, heap = world
+        with pytest.raises(SdkError):
+            heap.malloc(core, 0)
+
+    def test_coalescing_forward(self, world):
+        machine, core, heap = world
+        a = heap.malloc(core, 1000)
+        b = heap.malloc(core, 1000)
+        heap.malloc(core, 64)  # guard
+        heap.free(core, b)
+        heap.free(core, a)     # merges with b's free block
+        big = heap.malloc(core, 1900)  # only fits if coalesced
+        assert big == a
+
+    def test_walk_reports_blocks(self, world):
+        machine, core, heap = world
+        a = heap.malloc(core, 64)
+        blocks = heap.walk(core)
+        assert blocks[0][0] == a
+        assert blocks[0][2] is False   # used
+        assert blocks[-1][2] is True   # trailing free space
+
+
+class TestAllocatorProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["malloc", "free"]),
+                              st.integers(16, 512)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_no_overlap_invariant(self, ops):
+        machine = Machine(SmallMachineConfig())
+        space = machine.new_address_space()
+        secs_frame = machine.epc_alloc.alloc()
+        machine.epcm.set(secs_frame, eid=0, page_type=PT_SECS, vaddr=0)
+        secs = Secs(eid=secs_frame, base_addr=0x100000,
+                    size=8 * PAGE_SIZE, state=ST_INITIALIZED)
+        machine.enclaves[secs_frame] = secs
+        for i in range(8):
+            frame = machine.epc_alloc.alloc()
+            machine.epcm.set(frame, eid=secs.eid, page_type=PT_REG,
+                             vaddr=0x100000 + i * PAGE_SIZE, perms=PERM_RW)
+            space.map_page(0x100000 + i * PAGE_SIZE, frame)
+        core = machine.cores[0]
+        core.address_space = space
+        core.enclave_stack = [secs.eid]
+        heap = EnclaveHeap(0x100000, 8 * PAGE_SIZE)
+        heap.initialise(core)
+
+        live: list[tuple[int, int]] = []
+        for op, size in ops:
+            if op == "malloc":
+                try:
+                    addr = heap.malloc(core, size)
+                except SdkError:
+                    continue
+                live.append((addr, size))
+            elif live:
+                addr, _ = live.pop(size % len(live))
+                heap.free(core, addr)
+            # No two live blocks overlap, ever.
+            spans = sorted((a, a + s) for a, s in live)
+            for (a1, e1), (a2, _) in zip(spans, spans[1:]):
+                assert e1 <= a2
+            # And the heap walk stays internally consistent.
+            heap.walk(core)

@@ -1,0 +1,133 @@
+"""GcmChannel tests: the sealed baseline channel and its limits."""
+
+import pytest
+
+from repro.errors import ChannelError, CryptoError
+from repro.os import Kernel
+from repro.os.malicious import (DroppingIpcRouter, ForgingIpcRouter,
+                                ReplayingIpcRouter, install_router)
+from repro.sdk.secure_channel import GcmChannel, paired_channels
+from repro.sgx.constants import SmallMachineConfig
+from repro.sgx.machine import Machine
+
+
+@pytest.fixture
+def world():
+    machine = Machine(SmallMachineConfig())
+    kernel = Kernel(machine)
+    return machine, kernel
+
+
+class TestHonestOs:
+    def test_roundtrip(self, world):
+        machine, kernel = world
+        fwd, rev = paired_channels(machine, kernel.ipc, "link", bytes(16))
+        fwd.send(b"hello")
+        assert rev.try_recv() is None  # reverse direction is independent
+        # The receiver owns the same port/key pair:
+        receiver = GcmChannel(machine, kernel.ipc, "link:fwd", bytes(16))
+        assert receiver.recv() == b"hello"
+
+    def test_sequenced_stream(self, world):
+        machine, kernel = world
+        kernel.ipc.create_port("p")
+        tx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        rx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        for i in range(10):
+            tx.send(f"msg{i}".encode())
+        for i in range(10):
+            assert rx.recv() == f"msg{i}".encode()
+
+    def test_gcm_cost_charged(self, world):
+        machine, kernel = world
+        kernel.ipc.create_port("p")
+        tx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        snap = machine.counters.snapshot()
+        t0 = machine.clock.now_ns
+        tx.send(bytes(4096))
+        assert machine.counters.delta_since(snap)["gcm_seal"] == 1
+        assert machine.clock.now_ns - t0 >= 4096 \
+            * machine.cost.params.gcm_byte_ns
+
+    def test_empty_port_returns_none(self, world):
+        machine, kernel = world
+        kernel.ipc.create_port("p")
+        rx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        assert rx.try_recv() is None
+        with pytest.raises(ChannelError):
+            rx.recv()
+
+
+class TestAttackers:
+    def test_forged_message_rejected(self, world):
+        """Sealing defeats forgery: attacker-crafted bytes fail the tag."""
+        machine, kernel = world
+        router = ForgingIpcRouter(kernel)
+        install_router(kernel, router)
+        kernel.ipc.create_port("p")
+        rx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        router.forge("p", bytes(8) + b"X" * 32)
+        with pytest.raises(CryptoError):
+            rx.recv()
+
+    def test_replayed_message_rejected(self, world):
+        """Sealing + sequence numbers defeat replay."""
+        machine, kernel = world
+        router = ReplayingIpcRouter(kernel)
+        install_router(kernel, router)
+        kernel.ipc.create_port("p")
+        tx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        rx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        tx.send(b"pay me $1")
+        assert rx.recv() == b"pay me $1"
+        router.replay(0)
+        with pytest.raises(ChannelError):
+            rx.recv()  # sequence number already consumed
+
+    def test_reordering_detected(self, world):
+        machine, kernel = world
+        kernel.ipc.create_port("p")
+        tx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        rx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        tx.send(b"first")
+        tx.send(b"second")
+        # OS swaps the queue order.
+        queue = kernel.ipc._ports["p"]
+        queue.rotate(1)
+        with pytest.raises(ChannelError):
+            rx.recv()
+
+    def test_silent_trailing_drop_is_invisible(self, world):
+        """The residual weakness (§VII-B): a dropped message that nothing
+        follows is undetectable at the channel layer — the receiver just
+        sees an empty queue, identical to 'never sent'."""
+        machine, kernel = world
+        router = DroppingIpcRouter(kernel, lambda port, msg: True)
+        install_router(kernel, router)
+        kernel.ipc.create_port("p")
+        tx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        rx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        tx.send(b"initialise the certificate check!")
+        assert router.dropped == 1
+        assert rx.try_recv() is None  # looks exactly like silence
+
+    def test_interior_drop_detected_by_gap(self, world):
+        """Drops *inside* a stream do surface once a later message lands."""
+        machine, kernel = world
+        drop_second = {"n": 0}
+
+        def should_drop(port, msg):
+            drop_second["n"] += 1
+            return drop_second["n"] == 2
+
+        router = DroppingIpcRouter(kernel, should_drop)
+        install_router(kernel, router)
+        kernel.ipc.create_port("p")
+        tx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        rx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        tx.send(b"one")
+        tx.send(b"two")     # dropped
+        tx.send(b"three")
+        assert rx.recv() == b"one"
+        with pytest.raises(ChannelError):
+            rx.recv()

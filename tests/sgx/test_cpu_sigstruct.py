@@ -1,0 +1,142 @@
+"""Core (CPU) helpers and SIGSTRUCT signing-tool tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rsa import generate_keypair
+from repro.errors import PageFault
+from repro.sgx.constants import PAGE_SIZE, SmallMachineConfig
+from repro.sgx.machine import Machine
+from repro.sgx.measure import MeasurementLog, mrsigner_of
+from repro.sgx.sigstruct import (ANY_MRENCLAVE, Sigstruct, peer_matches,
+                                 sign_sigstruct)
+
+
+@pytest.fixture
+def machine():
+    return Machine(SmallMachineConfig())
+
+
+@pytest.fixture
+def core(machine):
+    core = machine.cores[0]
+    space = machine.new_address_space()
+    core.address_space = space
+    plain = machine.config.prm_base - 0x40000
+    for i in range(4):
+        space.map_page(0x10000 + i * PAGE_SIZE, plain + i * PAGE_SIZE)
+    return core
+
+
+class TestCoreMemoryHelpers:
+    def test_u64_roundtrip(self, core):
+        core.write_u64(0x10008, 0xDEADBEEF_CAFEBABE)
+        assert core.read_u64(0x10008) == 0xDEADBEEF_CAFEBABE
+
+    def test_u64_truncates_to_64_bits(self, core):
+        core.write_u64(0x10000, 1 << 70 | 42)
+        assert core.read_u64(0x10000) == 42
+
+    def test_cross_page_read_write(self, core):
+        data = bytes(range(200))
+        core.write(0x10F80, data)   # straddles two pages
+        assert core.read(0x10F80, 200) == data
+
+    def test_read_without_address_space(self, machine):
+        bare = machine.cores[1]
+        with pytest.raises(PageFault):
+            bare.read(0x1000, 4)
+
+    def test_scrub_registers(self, core):
+        core.registers["rdi"] = 7
+        core.registers["rflags"] = 0x202
+        core.scrub_registers()
+        assert all(v == 0 for v in core.registers.values())
+
+    def test_flush_tlb_charges_and_counts(self, core):
+        machine = core.machine
+        snap = machine.counters.snapshot()
+        t0 = machine.clock.now_ns
+        core.flush_tlb()
+        assert machine.counters.delta_since(snap)["tlb_flush"] == 1
+        assert machine.clock.now_ns > t0
+
+
+class TestMeasurementLog:
+    def test_order_sensitivity(self):
+        a = MeasurementLog()
+        a.eadd(0x0, "PT_REG", 7)
+        a.eadd(0x1000, "PT_REG", 7)
+        b = MeasurementLog()
+        b.eadd(0x1000, "PT_REG", 7)
+        b.eadd(0x0, "PT_REG", 7)
+        assert a.digest() != b.digest()
+
+    def test_eextend_chunking(self):
+        """Content is measured in 256 B chunks; moving a byte across a
+        chunk boundary changes the digest."""
+        a = MeasurementLog()
+        a.eextend(0, b"\x01" + bytes(255) + b"\x02")
+        b = MeasurementLog()
+        b.eextend(0, b"\x01" + bytes(256) + b"\x02")
+        assert a.digest() != b.digest()
+
+    def test_copy_is_independent(self):
+        log = MeasurementLog()
+        log.ecreate(0, PAGE_SIZE)
+        clone = log.copy()
+        log.eadd(0, "PT_REG", 7)
+        assert clone.digest() != log.digest()
+
+    def test_mrsigner_is_key_hash(self):
+        key = generate_keypair(b"ms", bits=512)
+        raw = key.public_key.to_bytes()
+        assert mrsigner_of(raw) != mrsigner_of(raw + b"x")
+
+
+class TestSigstruct:
+    @pytest.fixture(scope="class")
+    def key(self):
+        return generate_keypair(b"sigstruct-tests", bits=512)
+
+    def test_signature_covers_peers(self, key):
+        plain = sign_sigstruct(key, "e", b"\x11" * 32)
+        with_peer = sign_sigstruct(
+            key, "e", b"\x11" * 32,
+            expected_peer_digests=((b"\x22" * 32, b"\x33" * 32),))
+        assert plain.signature != with_peer.signature
+        assert plain.verify_signature()
+        assert with_peer.verify_signature()
+
+    def test_tampering_any_field_breaks_verification(self, key):
+        sig = sign_sigstruct(key, "e", b"\x11" * 32, isv_svn=1)
+        tampered = Sigstruct(
+            enclave_name=sig.enclave_name,
+            expected_mrenclave=sig.expected_mrenclave,
+            isv_prod_id=sig.isv_prod_id,
+            isv_svn=2,   # bumped without re-signing
+            attributes=sig.attributes,
+            signer_pubkey=sig.signer_pubkey,
+            signature=sig.signature,
+            expected_peer_digests=sig.expected_peer_digests)
+        assert not tampered.verify_signature()
+
+    def test_peer_matches_exact(self):
+        assert peer_matches((b"\x01" * 32, b"\x02" * 32),
+                            b"\x01" * 32, b"\x02" * 32)
+        assert not peer_matches((b"\x01" * 32, b"\x02" * 32),
+                                b"\x09" * 32, b"\x02" * 32)
+
+    def test_peer_matches_wildcard(self):
+        assert peer_matches((ANY_MRENCLAVE, b"\x02" * 32),
+                            b"anything-goes-here-as-mrenclave!",
+                            b"\x02" * 32)
+        assert not peer_matches((ANY_MRENCLAVE, b"\x02" * 32),
+                                b"\x01" * 32, b"\x03" * 32)
+
+    @given(st.binary(min_size=32, max_size=32))
+    @settings(max_examples=10, deadline=None)
+    def test_sign_verify_property(self, key, mrenclave):
+        sig = sign_sigstruct(key, "p", mrenclave)
+        assert sig.verify_signature()
+        assert sig.expected_mrenclave == mrenclave

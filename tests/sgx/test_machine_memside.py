@@ -1,0 +1,124 @@
+"""Machine memory-side path tests: MEE RMW at odd granularities, the
+PRM-but-not-EPC region, and cost charging symmetry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AccessViolation, SgxFault
+from repro.sgx.constants import (CACHELINE_SIZE, PAGE_SIZE, PERM_RW,
+                                 PT_REG, SmallMachineConfig)
+from repro.sgx.machine import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(SmallMachineConfig())
+
+
+def owned_frame(machine, eid=1):
+    frame = machine.epc_alloc.alloc()
+    machine.epcm.set(frame, eid=eid, page_type=PT_REG, vaddr=0x100000,
+                     perms=PERM_RW)
+    return frame
+
+
+class TestPartialLineRmw:
+    def test_unaligned_write_preserves_neighbours(self, machine):
+        frame = owned_frame(machine)
+        machine.epc_write(frame, bytes(range(128)))
+        # Overwrite 10 bytes straddling the line boundary at +64.
+        machine.epc_write(frame + 59, b"XXXXXXXXXX")
+        data = machine.epc_read(frame, 128)
+        assert data[:59] == bytes(range(59))
+        assert data[59:69] == b"XXXXXXXXXX"
+        assert data[69:] == bytes(range(69, 128))
+
+    def test_single_byte_updates(self, machine):
+        frame = owned_frame(machine)
+        for i in range(0, CACHELINE_SIZE * 2, 7):
+            machine.epc_write(frame + i, bytes([i & 0xFF]))
+        for i in range(0, CACHELINE_SIZE * 2, 7):
+            assert machine.epc_read(frame + i, 1) == bytes([i & 0xFF])
+
+    @given(st.integers(0, PAGE_SIZE - 64), st.binary(min_size=1,
+                                                     max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_rmw_roundtrip_property(self, offset, data):
+        machine = Machine(SmallMachineConfig())
+        frame = owned_frame(machine)
+        machine.epc_write(frame + offset, data)
+        assert machine.epc_read(frame + offset, len(data)) == data
+
+    def test_ciphertext_differs_across_rewrites(self, machine):
+        """CTR versions: same plaintext rewritten to the same line gives
+        different DRAM bytes (no two-time pad)."""
+        frame = owned_frame(machine)
+        machine.epc_write(frame, b"A" * 64)
+        first = machine.dram_ciphertext(frame, 64)
+        machine.epc_write(frame, b"A" * 64)
+        second = machine.dram_ciphertext(frame, 64)
+        assert first != second
+
+
+class TestPrmNonEpcRegion:
+    def test_geometry_exists(self, machine):
+        cfg = machine.config
+        meta_addr = cfg.epc_base + cfg.epc_bytes
+        assert machine.phys.in_prm(meta_addr)
+        assert not machine.phys.in_epc(meta_addr)
+
+    def test_enclave_access_to_mee_metadata_aborts(self, machine):
+        """Path B's 'PRM but not EPC' arm: even enclave mode may not
+        touch the MEE metadata region."""
+        from repro.sgx.constants import ST_INITIALIZED
+        from repro.sgx.secs import Secs
+        cfg = machine.config
+        meta_page = cfg.epc_base + cfg.epc_bytes
+        secs_frame = machine.epc_alloc.alloc()
+        from repro.sgx.constants import PT_SECS
+        machine.epcm.set(secs_frame, eid=0, page_type=PT_SECS, vaddr=0)
+        secs = Secs(eid=secs_frame, base_addr=0x100000,
+                    size=PAGE_SIZE, state=ST_INITIALIZED)
+        machine.enclaves[secs_frame] = secs
+        space = machine.new_address_space()
+        space.map_page(0x500000, meta_page)
+        core = machine.cores[0]
+        core.address_space = space
+        core.enclave_stack = [secs.eid]
+        with pytest.raises(AccessViolation, match="MEE metadata"):
+            core.read(0x500000, 8)
+
+    def test_epc_helpers_reject_non_epc(self, machine):
+        cfg = machine.config
+        meta_addr = cfg.epc_base + cfg.epc_bytes
+        with pytest.raises(SgxFault):
+            machine.epc_read(meta_addr, 8)
+        with pytest.raises(SgxFault):
+            machine.epc_write(meta_addr, b"x")
+
+
+class TestCostSymmetry:
+    def test_read_and_write_charge_same_lines(self, machine):
+        frame = owned_frame(machine)
+        machine.llc.flush()
+        snap = machine.counters.snapshot()
+        machine.epc_write(frame, bytes(256))       # 4 lines
+        write_delta = machine.counters.delta_since(snap)
+        machine.llc.flush()
+        snap = machine.counters.snapshot()
+        machine.epc_read(frame, 256)
+        read_delta = machine.counters.delta_since(snap)
+        assert write_delta["llc_miss"] == read_delta["llc_miss"] == 4
+        assert write_delta["mee_line_encrypt"] == 4
+        assert read_delta["mee_line_decrypt"] == 4
+
+    def test_mee_bytes_flag_off_still_charges(self):
+        machine = Machine(SmallMachineConfig(mee_encrypt_bytes=False))
+        frame = owned_frame(machine)
+        snap = machine.counters.snapshot()
+        machine.epc_write(frame, bytes(64))
+        delta = machine.counters.delta_since(snap)
+        assert delta["mee_line_encrypt"] == 1
+        # ...but DRAM then holds plaintext (cost-model-only mode).
+        machine.epc_write(frame, b"Y" * 64)
+        assert machine.dram_ciphertext(frame, 64) == b"Y" * 64

@@ -1,0 +1,130 @@
+"""Physical memory, PRM/EPC geometry, and the EPC allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SgxFault
+from repro.sgx.constants import MachineConfig, PAGE_SIZE, SmallMachineConfig
+from repro.sgx.memory import EpcAllocator, PhysicalMemory
+
+
+@pytest.fixture
+def config():
+    return SmallMachineConfig()
+
+
+@pytest.fixture
+def mem(config):
+    return PhysicalMemory(config)
+
+
+class TestPhysicalMemory:
+    def test_read_untouched_memory_is_zero(self, mem):
+        assert mem.read(0x1000, 32) == bytes(32)
+
+    def test_write_read_roundtrip(self, mem):
+        mem.write(0x1234, b"hello world")
+        assert mem.read(0x1234, 11) == b"hello world"
+
+    def test_cross_page_write(self, mem):
+        data = bytes(range(256)) * 40  # 10240 bytes: spans 3+ pages
+        mem.write(PAGE_SIZE - 100, data)
+        assert mem.read(PAGE_SIZE - 100, len(data)) == data
+
+    def test_out_of_range_read_faults(self, mem, config):
+        with pytest.raises(SgxFault):
+            mem.read(config.dram_bytes - 4, 8)
+
+    def test_negative_address_faults(self, mem):
+        with pytest.raises(SgxFault):
+            mem.read(-8, 8)
+
+    def test_zero_page(self, mem):
+        mem.write(0x2000, b"\xff" * 64)
+        mem.zero_page(0x2000)
+        assert mem.read(0x2000, 64) == bytes(64)
+
+    def test_zero_page_requires_alignment(self, mem):
+        with pytest.raises(ValueError):
+            mem.zero_page(0x2001)
+
+    def test_prm_membership(self, mem, config):
+        assert mem.in_prm(config.prm_base)
+        assert mem.in_prm(config.prm_base + config.prm_bytes - 1)
+        assert not mem.in_prm(config.prm_base - 1)
+        assert not mem.in_prm(config.prm_base + config.prm_bytes)
+
+    def test_epc_subset_of_prm(self, mem, config):
+        assert mem.in_epc(config.epc_base)
+        assert mem.in_prm(config.epc_base)
+        assert not mem.in_epc(config.epc_base + config.epc_bytes)
+
+    def test_drop_frame_forgets_contents(self, mem):
+        mem.write(0x3000, b"secret")
+        mem.drop_frame(0x3)
+        assert mem.read(0x3000, 6) == bytes(6)
+
+    @given(st.integers(min_value=0, max_value=2**20 - 64),
+           st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_write_then_read_property(self, addr, data):
+        mem = PhysicalMemory(SmallMachineConfig())
+        mem.write(addr, data)
+        assert mem.read(addr, len(data)) == data
+
+
+class TestConfigValidation:
+    def test_misaligned_prm_base_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(prm_base=0x1001)
+
+    def test_epc_larger_than_prm_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(prm_bytes=1 << 20, epc_bytes=2 << 20)
+
+    def test_prm_outside_dram_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(dram_bytes=1 << 20, prm_base=1 << 20,
+                          prm_bytes=1 << 20, epc_bytes=1 << 19)
+
+
+class TestEpcAllocator:
+    def test_alloc_returns_epc_frames(self, config):
+        alloc = EpcAllocator(config)
+        frame = alloc.alloc()
+        assert config.epc_base <= frame < config.epc_base + config.epc_bytes
+        assert frame % PAGE_SIZE == 0
+
+    def test_alloc_unique_until_exhaustion(self, config):
+        alloc = EpcAllocator(config)
+        frames = {alloc.alloc() for _ in range(config.epc_pages)}
+        assert len(frames) == config.epc_pages
+        with pytest.raises(SgxFault):
+            alloc.alloc()
+
+    def test_free_recycles(self, config):
+        alloc = EpcAllocator(config)
+        frame = alloc.alloc()
+        alloc.free(frame)
+        assert alloc.free_pages == config.epc_pages
+
+    def test_double_free_rejected(self, config):
+        alloc = EpcAllocator(config)
+        frame = alloc.alloc()
+        alloc.free(frame)
+        with pytest.raises(SgxFault):
+            alloc.free(frame)
+
+    def test_alloc_specific(self, config):
+        alloc = EpcAllocator(config)
+        target = config.epc_base + 3 * PAGE_SIZE
+        assert alloc.alloc_specific(target) == target
+        with pytest.raises(SgxFault):
+            alloc.alloc_specific(target)
+
+    def test_counts(self, config):
+        alloc = EpcAllocator(config)
+        alloc.alloc()
+        alloc.alloc()
+        assert alloc.used_pages == 2
+        assert alloc.free_pages == config.epc_pages - 2

@@ -1,0 +1,168 @@
+"""SGX2 dynamic memory (EAUG/EACCEPT) tests, including nesting interplay."""
+
+import pytest
+
+from repro.core import NestedValidator, audit_machine
+from repro.errors import (AccessViolation, EnclaveStateError,
+                          GeneralProtectionFault, PageFault, SgxFault)
+from repro.os import Kernel
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sgx import Machine, isa
+from repro.sgx.constants import PAGE_SIZE, SmallMachineConfig
+from repro.sgx.sgx2 import eaccept, eaug, grow_enclave
+
+EDL = """
+enclave {
+    trusted {
+        public int poke(int addr, int value);
+        public int peek(int addr);
+        public int accept_page(int addr);
+    };
+};
+"""
+
+
+def poke(ctx, addr, value):
+    ctx.write(addr, value.to_bytes(8, "little"))
+    return 0
+
+
+def peek(ctx, addr):
+    return int.from_bytes(ctx.read(addr, 8), "little")
+
+
+def accept_page(ctx, addr):
+    eaccept(ctx.host.machine, ctx.core, addr)
+    return 0
+
+
+@pytest.fixture
+def world():
+    machine = Machine(SmallMachineConfig(),
+                      validator_cls=NestedValidator)
+    host = EnclaveHost(machine, Kernel(machine))
+    builder = EnclaveBuilder("sgx2", parse_edl(EDL),
+                             signing_key=developer_key("sgx2"),
+                             dynamic_bytes=8 * PAGE_SIZE)
+    builder.add_entry("poke", poke)
+    builder.add_entry("peek", peek)
+    builder.add_entry("accept_page", accept_page)
+    handle = host.load(builder.build())
+    return machine, host, handle
+
+
+class TestEaugEaccept:
+    def test_grow_and_use(self, world):
+        machine, host, handle = world
+        base = grow_enclave(machine, host.kernel, handle,
+                            2 * PAGE_SIZE)
+        handle.ecall("poke", base, 0xABCD)
+        assert handle.ecall("peek", base) == 0xABCD
+        assert audit_machine(machine) == []
+
+    def test_pending_page_not_accessible(self, world):
+        """EAUG'd but not EACCEPT'd: the enclave cannot touch it."""
+        machine, host, handle = world
+        vaddr = handle.base_addr + handle.image.size_bytes
+        frame = eaug(machine, handle.secs, vaddr)
+        host.proc.space.map_page(vaddr, frame)
+        with pytest.raises(PageFault):
+            handle.ecall("peek", vaddr)
+
+    def test_eaccept_makes_it_accessible(self, world):
+        machine, host, handle = world
+        vaddr = handle.base_addr + handle.image.size_bytes
+        frame = eaug(machine, handle.secs, vaddr)
+        host.proc.space.map_page(vaddr, frame)
+        handle.ecall("accept_page", vaddr)
+        handle.ecall("poke", vaddr, 7)
+        assert handle.ecall("peek", vaddr) == 7
+
+    def test_eaccept_outside_enclave_rejected(self, world):
+        machine, host, handle = world
+        vaddr = handle.base_addr + handle.image.size_bytes
+        frame = eaug(machine, handle.secs, vaddr)
+        host.proc.space.map_page(vaddr, frame)
+        with pytest.raises(GeneralProtectionFault):
+            eaccept(machine, host.core, vaddr)  # non-enclave mode
+
+    def test_eaccept_bait_and_switch_rejected(self, world):
+        """OS EAUGs at A but maps the frame at B: the enclave's EACCEPT
+        of B must fail (vaddr mismatch vs EPCM)."""
+        machine, host, handle = world
+        vaddr_a = handle.base_addr + handle.image.size_bytes
+        vaddr_b = vaddr_a + PAGE_SIZE
+        frame = eaug(machine, handle.secs, vaddr_a)
+        host.proc.space.map_page(vaddr_b, frame)   # the switch
+        with pytest.raises(GeneralProtectionFault):
+            handle.ecall("accept_page", vaddr_b)
+
+    def test_eaccept_foreign_page_rejected(self, world):
+        """EACCEPT of a page owned by another enclave must fail."""
+        machine, host, handle = world
+        other_builder = EnclaveBuilder(
+            "other", parse_edl(EDL), signing_key=developer_key("other"),
+            dynamic_bytes=2 * PAGE_SIZE)
+        other_builder.add_entry("poke", poke)
+        other_builder.add_entry("peek", peek)
+        other_builder.add_entry("accept_page", accept_page)
+        other = host.load(other_builder.build())
+        vaddr = other.base_addr + other.image.size_bytes
+        frame = eaug(machine, other.secs, vaddr)
+        # Map the foreign pending frame into OUR enclave's dynamic area.
+        my_vaddr = handle.base_addr + handle.image.size_bytes
+        host.proc.space.map_page(my_vaddr, frame)
+        with pytest.raises(GeneralProtectionFault):
+            handle.ecall("accept_page", my_vaddr)
+
+    def test_eaug_outside_elrange_rejected(self, world):
+        machine, host, handle = world
+        with pytest.raises(GeneralProtectionFault):
+            eaug(machine, handle.secs, 0x100000000)
+
+    def test_eaug_uninitialised_enclave_rejected(self, world):
+        machine, host, handle = world
+        raw = isa.ecreate(machine, 0x9000000, 4 * PAGE_SIZE)
+        with pytest.raises(EnclaveStateError):
+            eaug(machine, raw, 0x9000000)
+
+    def test_grow_beyond_elrange_rejected(self, world):
+        machine, host, handle = world
+        with pytest.raises(SgxFault):
+            grow_enclave(machine, host.kernel, handle, 64 * PAGE_SIZE)
+
+    def test_double_eaccept_rejected(self, world):
+        machine, host, handle = world
+        base = grow_enclave(machine, host.kernel, handle, PAGE_SIZE)
+        with pytest.raises(GeneralProtectionFault):
+            handle.ecall("accept_page", base)
+
+
+class TestSgx2WithNesting:
+    def test_inner_reads_dynamically_grown_outer_page(self, world):
+        """EAUG-grown outer pages behave exactly like static ones under
+        the Fig. 6 automaton: inner access allowed, VA-checked."""
+        machine, host, outer = world
+        inner_builder = EnclaveBuilder(
+            "inner2", parse_edl(EDL), signing_key=developer_key("sgx2"))
+        inner_builder.add_entry("poke", poke)
+        inner_builder.add_entry("peek", peek)
+        inner_builder.add_entry("accept_page", accept_page)
+        inner_builder.expect_peer(
+            outer.image.sigstruct.expected_mrenclave,
+            outer.image.sigstruct.mrsigner)
+        inner_image = inner_builder.build()
+        # Rebuild the outer image expecting this inner is not possible
+        # post-load; instead associate via raw SECS expectations.
+        outer.secs.expected_peer_digests.append(
+            (inner_image.sigstruct.expected_mrenclave,
+             inner_image.sigstruct.mrsigner))
+        inner = host.load(inner_image)
+        host.associate(inner, outer)
+
+        base = grow_enclave(machine, host.kernel, outer, PAGE_SIZE)
+        outer.ecall("poke", base, 4242)
+        assert inner.ecall("peek", base) == 4242   # inner -> grown outer
+        # ...and the untrusted world still cannot.
+        with pytest.raises(AccessViolation):
+            host.core.read(base, 8)

@@ -1,0 +1,206 @@
+"""Synchronous (EENTER/EEXIT) and asynchronous (AEX/ERESUME) transition
+tests, including TCS state and scrubbing discipline."""
+
+import pytest
+
+from repro.crypto.rsa import generate_keypair
+from repro.errors import (EnclaveStateError, GeneralProtectionFault,
+                          TcsBusy)
+from repro.sgx import isa
+from repro.sgx.constants import (PAGE_SIZE, PT_TCS, SmallMachineConfig,
+                                 TCS_ACTIVE, TCS_IDLE)
+from repro.sgx.machine import Machine
+from repro.sgx.sigstruct import sign_sigstruct
+
+
+@pytest.fixture(scope="module")
+def author_key():
+    return generate_keypair(b"transitions-author", bits=512)
+
+
+@pytest.fixture
+def machine():
+    return Machine(SmallMachineConfig())
+
+
+@pytest.fixture
+def enclave(machine, author_key):
+    """Initialised enclave with two TCS pages at +0x0 and +0x1000."""
+    base = 0x100000
+    secs = isa.ecreate(machine, base, 4 * PAGE_SIZE)
+    isa.eadd(machine, secs, base, page_type=PT_TCS, tcs_entry="main")
+    isa.eadd(machine, secs, base + PAGE_SIZE, page_type=PT_TCS,
+             tcs_entry="main")
+    isa.eadd(machine, secs, base + 2 * PAGE_SIZE, content=b"code")
+    isa.eextend(machine, secs, base + 2 * PAGE_SIZE, b"code")
+    digest = isa.measurement_log(secs).digest()
+    isa.einit(machine, secs, sign_sigstruct(author_key, "t", digest))
+    return secs
+
+
+class TestEenterEexit:
+    def test_enter_sets_mode_and_tcs(self, machine, enclave):
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        assert core.in_enclave_mode
+        assert core.current_eid == enclave.eid
+        assert machine.tcs(enclave.eid, enclave.base_addr).state \
+            == TCS_ACTIVE
+
+    def test_exit_restores_mode_and_tcs(self, machine, enclave):
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        isa.eexit(machine, core)
+        assert not core.in_enclave_mode
+        assert machine.tcs(enclave.eid, enclave.base_addr).state == TCS_IDLE
+
+    def test_enter_flushes_tlb(self, machine, enclave):
+        core = machine.cores[0]
+        before = core.tlb.flush_count
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        assert core.tlb.flush_count == before + 1
+
+    def test_exit_scrubs_registers(self, machine, enclave):
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        core.registers["rax"] = 0xDEADBEEF
+        isa.eexit(machine, core)
+        assert core.registers["rax"] == 0
+
+    def test_busy_tcs_rejected(self, machine, enclave):
+        core0, core1 = machine.cores[0], machine.cores[1]
+        isa.eenter(machine, core0, enclave, enclave.base_addr)
+        with pytest.raises(TcsBusy):
+            isa.eenter(machine, core1, enclave, enclave.base_addr)
+        # Second TCS still available.
+        isa.eenter(machine, core1, enclave,
+                   enclave.base_addr + PAGE_SIZE)
+
+    def test_enter_uninitialised_rejected(self, machine, author_key):
+        secs = isa.ecreate(machine, 0x400000, PAGE_SIZE)
+        isa.eadd(machine, secs, 0x400000, page_type=PT_TCS,
+                 tcs_entry="main")
+        with pytest.raises(EnclaveStateError):
+            isa.eenter(machine, machine.cores[0], secs, 0x400000)
+
+    def test_enter_while_in_enclave_rejected(self, machine, enclave):
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        with pytest.raises(GeneralProtectionFault):
+            isa.eenter(machine, core, enclave,
+                       enclave.base_addr + PAGE_SIZE)
+
+    def test_exit_outside_enclave_rejected(self, machine):
+        with pytest.raises(GeneralProtectionFault):
+            isa.eexit(machine, machine.cores[0])
+
+
+class TestAexEresume:
+    def test_aex_saves_and_exits(self, machine, enclave):
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        core.registers["rbx"] = 42
+        isa.aex(machine, core)
+        assert not core.in_enclave_mode
+        assert core.registers["rbx"] == 0  # scrubbed from OS view
+        tcs = machine.tcs(enclave.eid, enclave.base_addr)
+        assert tcs.saved_context is not None
+        assert tcs.aex_count == 1
+
+    def test_eresume_restores_context(self, machine, enclave):
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        core.registers["rbx"] = 42
+        isa.aex(machine, core)
+        isa.eresume(machine, core, enclave, enclave.base_addr)
+        assert core.in_enclave_mode
+        assert core.current_eid == enclave.eid
+        assert core.registers["rbx"] == 42
+
+    def test_aex_flushes_tlb(self, machine, enclave):
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        before = core.tlb.flush_count
+        isa.aex(machine, core)
+        assert core.tlb.flush_count == before + 1
+
+    def test_eresume_without_saved_context_rejected(self, machine,
+                                                    enclave):
+        with pytest.raises(GeneralProtectionFault):
+            isa.eresume(machine, machine.cores[0], enclave,
+                        enclave.base_addr)
+
+    def test_aex_outside_enclave_rejected(self, machine):
+        with pytest.raises(GeneralProtectionFault):
+            isa.aex(machine, machine.cores[0])
+
+    def test_aex_counter_and_cost(self, machine, enclave):
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        snap = machine.counters.snapshot()
+        isa.aex(machine, core)
+        assert machine.counters.delta_since(snap).get("aex") == 1
+
+
+class TestAttestation:
+    def test_report_verifies_on_target(self, machine, enclave, author_key):
+        # Second enclave acts as the attestation target.
+        base = 0x300000
+        target = isa.ecreate(machine, base, 2 * PAGE_SIZE)
+        isa.eadd(machine, target, base, page_type=PT_TCS, tcs_entry="m")
+        isa.eadd(machine, target, base + PAGE_SIZE, content=b"t")
+        isa.eextend(machine, target, base + PAGE_SIZE, b"t")
+        digest = isa.measurement_log(target).digest()
+        isa.einit(machine, target, sign_sigstruct(author_key, "t2", digest))
+
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        report = isa.ereport(machine, core, target.mrenclave, b"hello")
+        isa.eexit(machine, core)
+
+        isa.eenter(machine, core, target, base)
+        assert isa.verify_report(machine, core, report)
+        isa.eexit(machine, core)
+
+    def test_report_fails_on_wrong_target(self, machine, enclave):
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        report = isa.ereport(machine, core, b"\x99" * 32)
+        # Same enclave is NOT the target: verification must fail.
+        assert not isa.verify_report(machine, core, report)
+        isa.eexit(machine, core)
+
+    def test_tampered_report_fails(self, machine, enclave):
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        report = isa.ereport(machine, core, enclave.mrenclave)
+        forged = isa.Report(report.mrenclave, report.mrsigner,
+                            report.isv_prod_id, report.isv_svn,
+                            b"forged-data", report.mac_tag)
+        assert not isa.verify_report(machine, core, forged)
+        isa.eexit(machine, core)
+
+    def test_egetkey_outside_enclave_rejected(self, machine):
+        with pytest.raises(GeneralProtectionFault):
+            isa.egetkey(machine, machine.cores[0], "seal")
+
+    def test_seal_key_same_signer_same_key(self, machine, enclave,
+                                           author_key):
+        """Seal keys derive from MRSIGNER: same-author enclaves share."""
+        base = 0x300000
+        other = isa.ecreate(machine, base, 2 * PAGE_SIZE)
+        isa.eadd(machine, other, base, page_type=PT_TCS, tcs_entry="m")
+        isa.eadd(machine, other, base + PAGE_SIZE, content=b"different")
+        isa.eextend(machine, other, base + PAGE_SIZE, b"different")
+        digest = isa.measurement_log(other).digest()
+        isa.einit(machine, other, sign_sigstruct(author_key, "o", digest))
+        assert other.mrenclave != enclave.mrenclave
+
+        core = machine.cores[0]
+        isa.eenter(machine, core, enclave, enclave.base_addr)
+        seal_a = isa.egetkey(machine, core, "seal")
+        isa.eexit(machine, core)
+        isa.eenter(machine, core, other, base)
+        seal_b = isa.egetkey(machine, core, "seal")
+        isa.eexit(machine, core)
+        assert seal_a == seal_b

@@ -1,0 +1,37 @@
+"""Smoke tests: the runnable examples must actually run.
+
+Each example is executed in a subprocess (fresh interpreter, no state
+bleed) and must exit 0.  Only the fast examples run here; the channel
+example sweeps enough data to be left to manual runs.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "multilevel_nesting.py",
+    "multitenant_db.py",
+    "heartbleed_confinement.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # every example narrates what it proved
+
+
+def test_all_examples_present():
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "heartbleed_confinement.py",
+            "ml_privacy_service.py", "multitenant_db.py",
+            "secure_channel.py", "multilevel_nesting.py"} <= found

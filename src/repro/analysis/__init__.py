@@ -1,0 +1,35 @@
+"""Static-analysis passes guarding the repro's constructive guarantees.
+
+The whole reproduction rests on two properties that nothing at runtime
+re-checks: every simulated memory access funnels through the Fig. 2 /
+Fig. 6 validation automaton, and simulated time is fully deterministic.
+This package makes both *machine-checked* properties of the source tree
+(the same move Guardian makes for enclave interface orderliness and
+Occlum for SFI: validate at build time, don't trust convention):
+
+* :mod:`repro.analysis.edl_lint` — interface linter over the ports'
+  embedded EDL sources (rules ``EDL001``–``EDL004``): cross-section
+  duplicates, nested sections shadowing plain ecalls/ocalls,
+  secret-named parameters declared on untrusted boundaries, and dead
+  interface surface never bound by any port runtime.
+* :mod:`repro.analysis.simlint` — an ``ast`` pass over all of
+  ``src/repro`` (rules ``SIM001``–``SIM005``): direct DRAM/PRM access
+  outside the validation automaton, wall-clock reads, unseeded RNGs,
+  bare/broad ``except``, and hard-coded latency constants outside
+  :mod:`repro.perf.costmodel`.
+* :mod:`repro.analysis.taint` — a cross-boundary taint check over
+  :mod:`repro.apps.ports` (rule ``TAINT001``): key material (GCM and
+  session keys, ``EGETKEY`` results) must never flow into an ocall
+  argument.
+
+All passes run from one CLI — ``python -m repro.analysis`` — with
+``--format text|json``, an optional ``--baseline`` file for
+grandfathered findings, and exit code 1 on any new finding.  The tier-1
+gate ``tests/analysis/test_repo_clean.py`` keeps the repo at zero
+findings with an empty baseline.
+"""
+
+from repro.analysis.findings import Finding, Report
+from repro.analysis.runner import run_repo_analysis
+
+__all__ = ["Finding", "Report", "run_repo_analysis"]

@@ -1,0 +1,70 @@
+"""``python -m repro.analysis`` — the repo's static-analysis gate.
+
+Examples::
+
+    python -m repro.analysis                      # all passes, text
+    python -m repro.analysis sim taint            # a subset
+    python -m repro.analysis --format json        # machine-readable
+    python -m repro.analysis --baseline base.json # ignore grandfathered
+    python -m repro.analysis --write-baseline base.json
+
+Exit status: 0 when no *new* findings (everything is clean or
+grandfathered by the baseline), 1 when new findings exist, 2 on usage
+or environment errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.findings import (AnalysisError, load_baseline,
+                                     write_baseline)
+from repro.analysis.runner import PASSES, run_repo_analysis
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="EDL interface lint, simulation-integrity lint, and "
+                    "cross-boundary taint check.")
+    parser.add_argument("passes", nargs="*", metavar="pass",
+                        help=f"subset of passes to run ({', '.join(PASSES)}; "
+                             "default: all)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (directory containing src/); "
+                             "default: auto-detected")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="JSON file of grandfathered finding "
+                             "fingerprints; only new findings fail the run")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="write the current findings as a baseline "
+                             "and exit 0")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    passes = tuple(args.passes) or PASSES
+    try:
+        baseline = load_baseline(args.baseline)
+        report = run_repo_analysis(args.root, passes)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(args.write_baseline, report)
+        print(f"wrote {len(report.findings)} fingerprint(s) to "
+              f"{args.write_baseline}")
+        return 0
+    if args.format == "json":
+        print(report.render_json(baseline))
+    else:
+        print(report.render_text(baseline))
+    return 1 if report.new_findings(baseline) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

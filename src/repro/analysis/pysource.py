@@ -1,0 +1,67 @@
+"""Python-source loading shared by the AST passes.
+
+Wraps one parsed module per file: dotted module name (for allowlists),
+repo-relative path (for diagnostics), the AST, and the per-line
+``# simlint: disable=RULE[,RULE…]`` suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.findings import AnalysisError
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass
+class Module:
+    """One parsed source file, ready for an AST pass."""
+
+    path: str                      # repo-relative POSIX path
+    name: str                      # dotted module name, e.g. "repro.sgx.mee"
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]]  # line -> disabled rule IDs
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.suppressions.get(line, frozenset())
+        return rule in rules or "all" in rules
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    table: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            rules = frozenset(
+                r.strip() for r in match.group(1).split(",") if r.strip())
+            table[lineno] = rules
+    return table
+
+
+def load_module(file: Path, root: Path) -> Module:
+    """Parse one file.  ``root`` is the directory that *contains* the
+    top-level package (i.e. ``src``), so dotted names come out as
+    ``repro.sgx.mee``."""
+    try:
+        source = file.read_text()
+        tree = ast.parse(source, filename=str(file))
+    except (OSError, SyntaxError) as exc:
+        raise AnalysisError(f"cannot parse {file}: {exc}") from exc
+    rel = file.relative_to(root)
+    parts = list(rel.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return Module(path=rel.as_posix(), name=".".join(parts), tree=tree,
+                  suppressions=parse_suppressions(source))
+
+
+def iter_modules(package_dir: Path, root: Path) -> Iterator[Module]:
+    """Yield every ``*.py`` module under ``package_dir`` (sorted)."""
+    for file in sorted(package_dir.rglob("*.py")):
+        yield load_module(file, root)

@@ -1,0 +1,44 @@
+"""Pass orchestration: locate the repo, run the selected passes, merge.
+
+Kept separate from :mod:`repro.analysis.cli` so tests and the tier-1
+gate can call :func:`run_repo_analysis` in-process without arg parsing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import edl_lint, simlint, taint
+from repro.analysis.findings import AnalysisError, Report
+
+#: CLI pass names → runner.
+PASSES = ("edl", "sim", "taint")
+
+
+def repo_root() -> Path:
+    """The directory containing ``src/`` (three levels above us)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def run_repo_analysis(root: Path | None = None,
+                      passes: tuple[str, ...] = PASSES) -> Report:
+    """Run the selected passes over the repo rooted at ``root``."""
+    root = Path(root) if root is not None else repo_root()
+    src = root / "src"
+    package = src / "repro"
+    ports = package / "apps" / "ports"
+    if not package.is_dir():
+        raise AnalysisError(f"{root} does not contain src/repro")
+    report = Report()
+    for name in passes:
+        if name == "edl":
+            report.extend(edl_lint.lint_ports(ports, src))
+        elif name == "sim":
+            report.extend(simlint.lint_tree(package, src))
+        elif name == "taint":
+            report.extend(taint.analyze_ports(ports, src))
+        else:
+            raise AnalysisError(
+                f"unknown pass {name!r}; choose from {', '.join(PASSES)}")
+    report.findings.sort()
+    return report

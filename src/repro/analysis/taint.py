@@ -1,0 +1,312 @@
+"""Cross-boundary taint check over :mod:`repro.apps.ports` (TAINT001).
+
+The nested layouts exist to keep key material inside the inner enclave;
+an ``ocall`` argument, by construction, leaves enclave mode entirely.
+This pass proves the two never meet: it seeds taint at key-material
+sources, propagates it intraprocedurally plus through the module-local
+call graph, and reports any flow into an ``ocall`` argument.
+
+Sources
+    * ``ctx.get_key(…)`` / ``egetkey(…)`` results (EGETKEY);
+    * reads of names or attributes named like key material —
+      ``key``, ``*_key``, ``psk``, ``secret*``, ``priv*`` — including
+      function parameters so taint enters helper functions.
+
+Sanitizers
+    Authenticated encryption declassifies: the result of a ``seal`` /
+    ``seal_record`` / ``encrypt`` call is ciphertext and safe to ship.
+    Comparisons also declassify (a boolean verdict is not the key).
+
+Sinks
+    Arguments of any ``*.ocall(name, …)`` call — the untrusted host
+    runs the handler.  (``n_ocall`` lands in the *outer enclave*, a
+    trusted sibling, and is deliberately not a sink; moving secrets to
+    the outer enclave is a layout decision the EDL linter's EDL003
+    rule covers instead.)
+
+The propagation is a fixpoint over per-function summaries: for every
+module-level function we learn (a) which parameters flow to its return
+value unsanitized, (b) whether its return is tainted regardless of
+arguments, and (c) which parameters reach an ocall sink inside it — so a
+leak through a helper chain (``f`` passes the session key to ``g``,
+``g`` ocalls it) is caught at the innermost sink line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Report
+from repro.analysis.pysource import Module, iter_modules
+
+RULES = ("TAINT001",)
+
+_SECRET_NAME_RE = re.compile(
+    r"(^|_)(key|keys|psk|secret\w*|priv\w*)($|_)", re.IGNORECASE)
+
+_SOURCE_CALLS = frozenset({"get_key", "egetkey", "nereport_key"})
+_SANITIZER_CALLS = frozenset({"seal", "seal_record", "encrypt",
+                              "seal_out"})
+
+Labels = frozenset  # of str — where the taint came from
+
+
+@dataclass
+class _Summary:
+    """What one function does with taint, learned to fixpoint."""
+
+    param_to_return: set[int] = field(default_factory=set)
+    return_labels: Labels = frozenset()      # tainted regardless of args
+    param_to_sink: dict[int, int] = field(default_factory=dict)  # idx→line
+
+
+def _is_secret_name(name: str) -> bool:
+    return bool(_SECRET_NAME_RE.search(name))
+
+
+class _FunctionAnalysis(ast.NodeVisitor):
+    """One intraprocedural pass; call with a summary table for the
+    module to resolve local helper calls."""
+
+    def __init__(self, func: ast.FunctionDef, module: Module,
+                 summaries: dict[str, _Summary]) -> None:
+        self.func = func
+        self.module = module
+        self.summaries = summaries
+        self.env: dict[str, Labels] = {}
+        self.param_names = [a.arg for a in func.args.args]
+        self.param_labels: dict[str, Labels] = {}
+        for index, name in enumerate(self.param_names):
+            labels = {f"param:{self.func.name}:{name}"}
+            if _is_secret_name(name):
+                labels.add(f"secret-param:{name}")
+            self.param_labels[name] = frozenset(labels)
+        self.env.update(self.param_labels)
+        self.summary = _Summary()
+        self.findings: list[Finding] = []
+
+    # -- expression taint ---------------------------------------------------
+    def taint_of(self, node: ast.expr | None) -> Labels:
+        if node is None:
+            return frozenset()
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, frozenset())
+        if isinstance(node, ast.Attribute):
+            labels = set(self.taint_of(node.value))
+            if _is_secret_name(node.attr):
+                labels.add(f"secret-attr:{node.attr}")
+            return frozenset(labels)
+        if isinstance(node, ast.Call):
+            return self._taint_of_call(node)
+        if isinstance(node, ast.Compare):
+            return frozenset()  # booleans declassify
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out: set[str] = set()
+            for elt in node.elts:
+                out |= self.taint_of(elt)
+            return frozenset(out)
+        if isinstance(node, ast.Dict):
+            out = set()
+            for part in list(node.keys) + list(node.values):
+                if part is not None:
+                    out |= self.taint_of(part)
+            return frozenset(out)
+        out = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out |= self.taint_of(child)
+        return frozenset(out)
+
+    def _callee_name(self, func: ast.expr) -> str:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return ""
+
+    def _taint_of_call(self, node: ast.Call) -> Labels:
+        name = self._callee_name(node.func)
+        arg_exprs = list(node.args) + [k.value for k in node.keywords]
+        if name in _SANITIZER_CALLS:
+            return frozenset()
+        if name in _SOURCE_CALLS:
+            return frozenset({f"egetkey:{self.func.name}"})
+        summary = self.summaries.get(name)
+        if summary is not None:
+            labels = set(summary.return_labels)
+            for index, arg in enumerate(node.args):
+                if index in summary.param_to_return:
+                    labels |= self.taint_of(arg)
+                sink_line = summary.param_to_sink.get(index)
+                if sink_line is not None:
+                    arg_labels = self.taint_of(arg)
+                    if arg_labels:
+                        self._report(node, arg_labels,
+                                     via=f"{name}() → ocall at line "
+                                         f"{sink_line}")
+            return frozenset(labels)
+        # Unknown callee: be conservative, taint flows through (the
+        # receiver of a method call counts as an argument).
+        out: set[str] = set()
+        for arg in arg_exprs:
+            out |= self.taint_of(arg)
+        if isinstance(node.func, ast.Attribute):
+            out |= self.taint_of(node.func.value)
+        return frozenset(out)
+
+    # -- statements ---------------------------------------------------------
+    def _assign(self, target: ast.expr, labels: Labels) -> None:
+        if isinstance(target, ast.Name):
+            # A secret-named local assigned clean data is clean —
+            # name-seeding applies to parameters and attributes only.
+            self.env[target.id] = labels
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, labels)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        labels = self.taint_of(node.value)
+        for target in node.targets:
+            self._assign(target, labels)
+        self._scan_expr_for_sinks(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._assign(node.target, self.taint_of(node.value))
+            self._scan_expr_for_sinks(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            merged = self.env.get(node.target.id, frozenset()) \
+                | self.taint_of(node.value)
+            self.env[node.target.id] = merged
+        self._scan_expr_for_sinks(node.value)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        labels = self.taint_of(node.value)
+        for label in labels:
+            matched = False
+            for index, pname in enumerate(self.param_names):
+                if label in self.param_labels[pname]:
+                    self.summary.param_to_return.add(index)
+                    matched = True
+            if not matched:
+                self.summary.return_labels |= {label}
+        self._scan_expr_for_sinks(node.value)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self._scan_expr_for_sinks(node.value)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        # Also catch sinks in conditions, loop iterables, withs, …
+        if isinstance(node, (ast.If, ast.While)):
+            self._scan_expr_for_sinks(node.test)
+        elif isinstance(node, ast.For):
+            self._scan_expr_for_sinks(node.iter)
+        super().generic_visit(node)
+
+    # -- sinks --------------------------------------------------------------
+    def _scan_expr_for_sinks(self, expr: ast.expr | None) -> None:
+        if expr is None:
+            return
+        # Evaluating the expression's taint triggers the summary-based
+        # reporting inside _taint_of_call (a tainted argument passed to
+        # a helper whose body reaches an ocall), even when the value of
+        # the call is discarded.
+        self.taint_of(expr)
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "ocall":
+                self._check_sink(node)
+
+    def _check_sink(self, node: ast.Call) -> None:
+        # First positional argument is the interface name, not data.
+        payload = node.args[1:] + [k.value for k in node.keywords]
+        label_to_param = {label: index
+                          for index, pname in enumerate(self.param_names)
+                          for label in self.param_labels[pname]}
+        for arg in payload:
+            labels = self.taint_of(arg)
+            if not labels:
+                continue
+            secret = {label for label in labels
+                      if not label.startswith("param:")}
+            if secret:
+                self._report(node, frozenset(secret))
+            for label in labels:
+                index = label_to_param.get(label)
+                if index is not None:
+                    self.summary.param_to_sink.setdefault(index,
+                                                          node.lineno)
+
+    def _report(self, node: ast.Call, labels: Labels,
+                via: str = "") -> None:
+        origin = ", ".join(sorted(labels))
+        message = (f"key material ({origin}) flows into an ocall "
+                   "argument and leaves enclave mode")
+        if via:
+            message += f" via {via}"
+        if not self.module.suppressed(node.lineno, "TAINT001"):
+            self.findings.append(Finding(
+                path=self.module.path, line=node.lineno, rule="TAINT001",
+                message=message, symbol=self.func.name))
+
+    def run(self) -> None:
+        # Two passes stabilise taint through loops and use-before-def
+        # ordering quirks; the env only grows, so this converges.
+        for _ in range(2):
+            for stmt in self.func.body:
+                self.visit(stmt)
+
+
+def _module_functions(tree: ast.Module):
+    """Top-level functions and methods, by bare name (latest wins)."""
+    out: dict[str, ast.FunctionDef] = {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            out[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    out.setdefault(item.name, item)
+    return out
+
+
+def analyze_module(module: Module) -> list[Finding]:
+    functions = _module_functions(module.tree)
+    summaries: dict[str, _Summary] = {name: _Summary()
+                                      for name in functions}
+    findings: list[Finding] = []
+    # Fixpoint over summaries: helper chains need sink/flow facts of
+    # callees, which may be defined later in the file.
+    for round_index in range(3):
+        last = round_index == 2
+        round_findings: list[Finding] = []
+        changed = False
+        for name, func in functions.items():
+            analysis = _FunctionAnalysis(func, module, summaries)
+            analysis.run()
+            before = summaries[name]
+            after = analysis.summary
+            if (before.param_to_return != after.param_to_return
+                    or before.return_labels != after.return_labels
+                    or before.param_to_sink != after.param_to_sink):
+                changed = True
+            summaries[name] = after
+            round_findings.extend(analysis.findings)
+        if last or not changed:
+            findings = round_findings
+            break
+    return sorted(set(findings))
+
+
+def analyze_ports(ports_dir: Path, root: Path) -> Report:
+    report = Report(passes=["taint"])
+    for module in iter_modules(ports_dir, root):
+        report.findings.extend(analyze_module(module))
+    report.findings.sort()
+    return report

@@ -20,6 +20,7 @@ from typing import Any, Iterable
 from repro.apps.minidb import ast_nodes as ast
 from repro.apps.minidb.lexer import SqlError
 from repro.apps.minidb.parser import parse
+from repro.perf.costmodel import SQL_ROW_NS, SQL_STATEMENT_NS
 
 _PY_TYPES = {"INTEGER": int, "TEXT": str, "REAL": float}
 
@@ -120,12 +121,12 @@ class Database:
         self.statements_executed = 0
 
     # -- cost accounting ---------------------------------------------------
-    #: Simulated per-statement cost: parse + plan + execute + page
-    #: management, calibrated to in-enclave SQLite figures (tens of us
-    #: per simple statement) so that transition overheads are the small
-    #: fraction the paper measures (<2%, Table VI).
-    STATEMENT_NS = 55_000.0
-    ROW_NS = 1_500.0
+    #: Simulated per-statement and per-row costs, calibrated in
+    #: repro.perf.costmodel to in-enclave SQLite figures so that
+    #: transition overheads are the small fraction the paper measures
+    #: (<2%, Table VI).
+    STATEMENT_NS = SQL_STATEMENT_NS
+    ROW_NS = SQL_ROW_NS
 
     def _charge(self, rows_touched: int) -> None:
         if self.cost is not None:

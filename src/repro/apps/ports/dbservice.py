@@ -26,6 +26,7 @@ from repro.apps.minidb import Database, parse
 from repro.apps.minidb import ast_nodes as ast
 from repro.crypto.gcm import AesGcm
 from repro.errors import CryptoError, SdkError
+from repro.perf.costmodel import NET_ROUND_TRIP_DB_NS
 from repro.sdk import EnclaveBuilder, EnclaveHost, parse_edl
 from repro.sdk.builder import developer_key
 
@@ -242,8 +243,8 @@ def _to_plain(result):
 # -- deployments ---------------------------------------------------------------
 
 #: Client→service delivery cost per query (socket syscalls), as in the
-#: echo deployment.
-NET_ROUND_TRIP_NS = 20_000.0
+#: echo deployment (calibrated in repro.perf.costmodel).
+NET_ROUND_TRIP_NS = NET_ROUND_TRIP_DB_NS
 
 
 class DbClientSession:

@@ -35,13 +35,15 @@ import hashlib
 from repro.apps.minissl import records
 from repro.apps.minissl.session import SslSession
 from repro.errors import ChannelError
+from repro.perf.costmodel import NET_ROUND_TRIP_ECHO_NS
 from repro.sdk import EnclaveBuilder, EnclaveHost, parse_edl
 from repro.sdk.builder import developer_key
 from repro.sgx.constants import PAGE_SIZE
 
-#: Simulated socket recv+send syscall cost per wire message, calibrated
-#: so the nested/monolithic ratio lands in the paper's 2-6% band.
-NET_ROUND_TRIP_NS = 22_000.0
+#: Simulated socket recv+send syscall cost per wire message (calibrated
+#: in repro.perf.costmodel so the nested/monolithic ratio lands in the
+#: paper's 2-6% band).
+NET_ROUND_TRIP_NS = NET_ROUND_TRIP_ECHO_NS
 
 _PSK = hashlib.sha256(b"echo-demo-psk").digest()
 _SERVER_NONCE = hashlib.sha256(b"server-nonce").digest()

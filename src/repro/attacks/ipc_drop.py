@@ -53,7 +53,9 @@ def _verify_certificate(cert: bytes) -> bool:
     try:
         fields = dict(item.split(b"=", 1)
                       for item in cert.split(b":", 1)[1].split(b";"))
-    except Exception:
+    except (IndexError, ValueError):
+        # No ':' body, or an item with no '=': a malformed certificate
+        # fails closed.  Anything else (a simulator fault) must surface.
         return False
     return fields.get(b"signer") in VALID_SIGNERS
 

@@ -13,9 +13,9 @@ for eyeballing a table without pytest in the way.
 from __future__ import annotations
 
 import sys
-import time
 
 from repro import experiments as exp
+from repro.perf.wallclock import Stopwatch
 
 
 def _registry(full: bool):
@@ -72,10 +72,10 @@ def main(argv: list[str]) -> int:
               f"available: {', '.join(registry)}")
         return 1
     for name in names:
-        start = time.time()
-        result = registry[name]()
+        with Stopwatch() as watch:
+            result = registry[name]()
         print(result.render())
-        print(f"  ({name} took {time.time() - start:.1f}s wall)")
+        print(f"  ({name} took {watch.elapsed_s:.1f}s wall)")
         print()
     return 0
 

@@ -105,10 +105,15 @@ def remap_epc_at_wrong_va(proc: Process, wrong_vaddr: int,
 
 
 def dram_tamper(machine: Machine, paddr: int, flip_mask: int = 0x01) -> None:
-    """Flip bits in physical DRAM (a cold-boot / interposer attacker)."""
-    raw = bytearray(machine.phys.read(paddr, 64))
+    """Flip bits in physical DRAM (a cold-boot / interposer attacker).
+
+    The direct ``phys`` access is the point: this attacker sits on the
+    memory bus, below the CPU's validation automaton, which is why the
+    MEE — not the automaton — must defeat it.
+    """
+    raw = bytearray(machine.phys.read(paddr, 64))   # simlint: disable=SIM001
     raw[0] ^= flip_mask
-    machine.phys.write(paddr, bytes(raw))
+    machine.phys.write(paddr, bytes(raw))           # simlint: disable=SIM001
 
 
 def fake_association(inner: Secs, outer: Secs) -> None:

@@ -87,6 +87,35 @@ class CostParams:
     work_unit_ns: float = 10.0
 
 
+# ---------------------------------------------------------------------------
+# App/port-level latency constants
+# ---------------------------------------------------------------------------
+# Every hard-coded simulated latency in the tree lives here (enforced by
+# repro.analysis.simlint rule SIM005) so calibration has one home and
+# ablations can vary any number without hunting through app code.
+
+#: Simulated socket recv+send syscall cost per wire message of the echo
+#: deployment (repro.apps.ports.echo), calibrated so the
+#: nested/monolithic ratio lands in the paper's 2-6 % band (Fig. 7).
+NET_ROUND_TRIP_ECHO_NS = 22_000.0
+
+#: Client→service delivery cost per query of the database deployment
+#: (repro.apps.ports.dbservice), as in the echo deployment.
+NET_ROUND_TRIP_DB_NS = 20_000.0
+
+#: minidb per-statement cost: parse + plan + execute + page management,
+#: calibrated to in-enclave SQLite figures (tens of us per simple
+#: statement) so that transition overheads are the small fraction the
+#: paper measures (<2 %, Table VI).
+SQL_STATEMENT_NS = 55_000.0
+#: minidb per-row-touched increment on top of :data:`SQL_STATEMENT_NS`.
+SQL_ROW_NS = 1_500.0
+
+#: Switchless-call worker wake latency: one-way cache-line ping-pong
+#: between cores (~100-200 ns on real parts; repro.sdk.switchless).
+SWITCHLESS_POLL_NS = 150.0
+
+
 class SimClock:
     """A monotonically advancing simulated clock."""
 

@@ -1,0 +1,46 @@
+"""The single sanctioned wall-clock access point.
+
+Everything a benchmark *reports* runs on the deterministic simulated
+clock (:class:`repro.perf.costmodel.SimClock`); host time must never
+leak into a result.  The one legitimate use of the host clock is
+operator-facing progress output — "this experiment took 3.2 s of your
+time" — and that use goes through this module so the determinism lint
+(:mod:`repro.analysis.simlint` rule SIM002) can allowlist exactly one
+module instead of accumulating ad-hoc per-line suppressions.
+
+If you are about to import :mod:`time` anywhere else in ``repro``,
+you are either reporting progress (use :class:`Stopwatch`) or about to
+make a benchmark irreproducible (use the simulated clock).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now_s() -> float:
+    """Seconds of host wall-clock time (epoch-based, non-monotonic)."""
+    return time.time()
+
+
+class Stopwatch:
+    """Context manager measuring elapsed host time for progress output.
+
+    ::
+
+        with Stopwatch() as watch:
+            result = run_experiment()
+        print(f"took {watch.elapsed_s:.1f}s wall")
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed_s: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is not None:
+            self.elapsed_s = time.perf_counter() - self._start

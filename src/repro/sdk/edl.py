@@ -28,6 +28,14 @@ Types are deliberately loose (``void``, ``int``, ``bytes``, ``str`` —
 values cross the boundary by serialisation in the runtime); what matters
 architecturally is *which* names may cross *which* boundary, and that is
 enforced: the runtime refuses any call not declared in the right section.
+
+The parser is a hand-rolled scanner rather than a pile of regexes so
+that every declaration carries its 1-based source line
+(:attr:`EdlFunction.line`) — `repro.analysis.edl_lint` maps those spans
+back to the Python files embedding the EDL text to produce clickable
+diagnostics — and so that malformed input (unterminated blocks,
+duplicate parameter names, trailing garbage) fails with a precise
+:class:`EdlSyntaxError` instead of being silently dropped.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ class EdlFunction:
     return_type: str
     params: tuple[tuple[str, str], ...]  # (type, name)
     public: bool = False
+    line: int = 0  # 1-based line within the EDL source text
 
     def signature(self) -> str:
         args = ", ".join(f"{t} {n}" for t, n in self.params)
@@ -68,6 +77,11 @@ class EdlSpec:
             raise EdlSyntaxError(f"unknown EDL section {name!r}")
         return getattr(self, name)
 
+    def sections(self):
+        """Yield ``(section_name, functions)`` pairs in grammar order."""
+        for section in _SECTIONS:
+            yield section, self.section(section)
+
     def loc(self) -> int:
         """Logical lines of EDL — one per declared function plus the
         enclosing braces; used by the Table III porting-effort counter."""
@@ -80,9 +94,10 @@ class EdlSpec:
 
 
 _COMMENT_RE = re.compile(r"//[^\n]*")
+_WORD_RE = re.compile(r"\w+")
 _FUNC_RE = re.compile(
     r"^(?P<public>public\s+)?(?P<ret>\w+)\s+(?P<name>\w+)\s*"
-    r"\((?P<params>[^)]*)\)$")
+    r"\((?P<params>[^()]*)\)$")
 
 
 def _parse_params(raw: str, context: str) -> tuple[tuple[str, str], ...]:
@@ -90,54 +105,139 @@ def _parse_params(raw: str, context: str) -> tuple[tuple[str, str], ...]:
     if not raw or raw == "void":
         return ()
     params = []
+    seen: set[str] = set()
     for chunk in raw.split(","):
         bits = chunk.split()
         if len(bits) != 2:
             raise EdlSyntaxError(f"bad parameter {chunk!r} in {context}")
         ptype, pname = bits
-        if ptype not in _TYPES:
+        if ptype not in _TYPES or ptype == "void":
             raise EdlSyntaxError(f"unknown type {ptype!r} in {context}")
+        if pname in seen:
+            raise EdlSyntaxError(
+                f"duplicate parameter {pname!r} in {context}")
+        seen.add(pname)
         params.append((ptype, pname))
     return tuple(params)
 
 
+class _Scanner:
+    """Position/line-tracking cursor over comment-stripped EDL text."""
+
+    def __init__(self, source: str) -> None:
+        # Blank out comments in place (same offsets) so every position
+        # still maps to the original source line.
+        self.text = _COMMENT_RE.sub(lambda m: " " * len(m.group()), source)
+        self.pos = 0
+
+    def line(self, pos: int | None = None) -> int:
+        return self.text.count("\n", 0, self.pos if pos is None else pos) + 1
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take(self, literal: str, context: str) -> None:
+        self.skip_ws()
+        if not self.text.startswith(literal, self.pos):
+            if self.pos >= len(self.text):
+                raise EdlSyntaxError(f"unterminated {context}: "
+                                     f"expected {literal!r}, got end of input")
+            found = self.text[self.pos:self.pos + 16].split("\n")[0]
+            raise EdlSyntaxError(
+                f"expected {literal!r} in {context} at line "
+                f"{self.line()}, got {found!r}")
+        self.pos += len(literal)
+
+    def word(self, context: str) -> str:
+        self.skip_ws()
+        match = _WORD_RE.match(self.text, self.pos)
+        if match is None:
+            raise EdlSyntaxError(
+                f"expected a name in {context} at line {self.line()}")
+        self.pos = match.end()
+        return match.group()
+
+
+def _parse_declaration(scanner: _Scanner, section: str,
+                       target: dict[str, EdlFunction]) -> None:
+    scanner.skip_ws()
+    start = scanner.pos
+    line = scanner.line(start)
+    end = scanner.text.find(";", start)
+    brace = scanner.text.find("}", start)
+    if end == -1 or (brace != -1 and brace < end):
+        raise EdlSyntaxError(
+            f"unterminated declaration in section {section!r} at line "
+            f"{line}: expected ';'")
+    decl = " ".join(scanner.text[start:end].split())
+    scanner.pos = end + 1
+    if not decl:
+        return
+    func_match = _FUNC_RE.match(decl)
+    if func_match is None:
+        raise EdlSyntaxError(f"cannot parse declaration {decl!r}")
+    ret = func_match.group("ret")
+    if ret not in _TYPES:
+        raise EdlSyntaxError(f"unknown return type {ret!r}")
+    fname = func_match.group("name")
+    if fname in target:
+        raise EdlSyntaxError(
+            f"duplicate function {fname!r} in {section}")
+    target[fname] = EdlFunction(
+        name=fname, return_type=ret,
+        params=_parse_params(func_match.group("params"), decl),
+        public=bool(func_match.group("public")), line=line)
+
+
 def parse_edl(source: str, name: str = "enclave") -> EdlSpec:
     """Parse EDL source text into an :class:`EdlSpec`."""
-    text = _COMMENT_RE.sub("", source)
+    scanner = _Scanner(source)
     spec = EdlSpec(name=name)
 
-    enclave_match = re.search(r"enclave\s*\{(.*)\}\s*;?\s*$", text,
-                              re.DOTALL)
-    if enclave_match is None:
+    if scanner.at_end() or _WORD_RE.match(scanner.text, scanner.pos) is None \
+            or scanner.word("EDL source") != "enclave":
         raise EdlSyntaxError("missing 'enclave { ... };' block")
-    body = enclave_match.group(1)
+    scanner.take("{", "enclave block")
 
-    section_re = re.compile(r"(\w+)\s*\{([^{}]*)\}\s*;")
     consumed = 0
-    for match in section_re.finditer(body):
-        section_name, section_body = match.group(1), match.group(2)
-        consumed += 1
+    while True:
+        if scanner.at_end():
+            raise EdlSyntaxError(
+                "unterminated enclave block: expected '}' before end "
+                "of input")
+        if scanner.peek() == "}":
+            break
+        section_name = scanner.word("enclave block")
         if section_name not in _SECTIONS:
             raise EdlSyntaxError(f"unknown EDL section {section_name!r}")
+        scanner.take("{", f"section {section_name!r}")
         target = spec.section(section_name)
-        for decl in section_body.split(";"):
-            decl = " ".join(decl.split())
-            if not decl:
-                continue
-            func_match = _FUNC_RE.match(decl)
-            if func_match is None:
-                raise EdlSyntaxError(f"cannot parse declaration {decl!r}")
-            ret = func_match.group("ret")
-            if ret not in _TYPES:
-                raise EdlSyntaxError(f"unknown return type {ret!r}")
-            fname = func_match.group("name")
-            if fname in target:
+        consumed += 1
+        while True:
+            if scanner.at_end():
                 raise EdlSyntaxError(
-                    f"duplicate function {fname!r} in {section_name}")
-            target[fname] = EdlFunction(
-                name=fname, return_type=ret,
-                params=_parse_params(func_match.group("params"), decl),
-                public=bool(func_match.group("public")))
+                    f"unterminated section {section_name!r}: expected "
+                    "'}' before end of input")
+            if scanner.peek() == "}":
+                break
+            _parse_declaration(scanner, section_name, target)
+        scanner.take("}", f"section {section_name!r}")
+        scanner.take(";", f"section {section_name!r}")
+    scanner.take("}", "enclave block")
+    if scanner.peek() == ";":
+        scanner.pos += 1
+    if not scanner.at_end():
+        raise EdlSyntaxError(
+            f"trailing input after enclave block at line {scanner.line()}")
     if consumed == 0:
         raise EdlSyntaxError("enclave block declares no sections")
     return spec

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import SdkError
+from repro.perf.costmodel import SWITCHLESS_POLL_NS
 from repro.sgx.cpu import Core
 
 _ST_IDLE = 0
@@ -52,8 +53,8 @@ class SwitchlessChannel:
     """
 
     #: Simulated one-way latency for the worker to notice a request
-    #: (cache-line ping-pong between cores, ~100-200ns on real parts).
-    POLL_LATENCY_NS = 150.0
+    #: (cache-line ping-pong between cores; see repro.perf.costmodel).
+    POLL_LATENCY_NS = SWITCHLESS_POLL_NS
 
     def __init__(self, machine, base: int, capacity: int) -> None:
         if capacity < _HDR + 64:

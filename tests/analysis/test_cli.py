@@ -1,0 +1,137 @@
+"""CLI behavior: pass selection, formats, baseline handling, exit codes."""
+
+import json
+import shutil
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.findings import (AnalysisError, Finding, Report,
+                                     load_baseline, write_baseline)
+from repro.analysis.runner import repo_root, run_repo_analysis
+
+
+@pytest.fixture()
+def dirty_repo(tmp_path):
+    """A minimal src/repro tree with one violation of each pass."""
+    pkg = tmp_path / "src" / "repro"
+    ports = pkg / "apps" / "ports"
+    ports.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "apps" / "__init__.py").write_text("")
+    (ports / "__init__.py").write_text("")
+    (pkg / "clocky.py").write_text(
+        "import time\n\n\ndef now():\n    return time.time()\n")
+    (ports / "leaky.py").write_text(textwrap.dedent('''
+    LEAKY_EDL = """
+    enclave {
+        untrusted { void stash(bytes session_key); };
+    };
+    """
+
+
+    def export(ctx, session_key):
+        ctx.ocall("stash", session_key)
+    '''))
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_repo_exits_zero(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_dirty_repo_exits_one(self, dirty_repo, capsys):
+        assert main(["--root", str(dirty_repo)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM002" in out and "EDL003" in out and "TAINT001" in out
+
+    def test_unknown_pass_is_usage_error(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_missing_baseline_file_is_error(self, capsys):
+        assert main(["--baseline", "/nonexistent/base.json"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestPassSelection:
+    def test_single_pass_only_runs_that_pass(self, dirty_repo, capsys):
+        assert main(["--root", str(dirty_repo), "--format", "json",
+                     "edl"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passes"] == ["edl_lint"]
+        assert {f["rule"] for f in payload["findings"]} == {"EDL003",
+                                                            "EDL004"}
+
+    def test_json_format_round_trips(self, dirty_repo, capsys):
+        assert main(["--root", str(dirty_repo), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["new"]
+        rules = {f["rule"] for f in payload["findings"]}
+        assert {"SIM002", "TAINT001"} <= rules
+
+
+class TestBaseline:
+    def test_baseline_grandfathers_findings(self, dirty_repo, tmp_path,
+                                            capsys):
+        base = tmp_path / "base.json"
+        assert main(["--root", str(dirty_repo),
+                     "--write-baseline", str(base)]) == 0
+        capsys.readouterr()
+        assert main(["--root", str(dirty_repo),
+                     "--baseline", str(base)]) == 0
+        assert "grandfathered" in capsys.readouterr().out
+
+    def test_new_finding_fails_despite_baseline(self, dirty_repo,
+                                                tmp_path, capsys):
+        base = tmp_path / "base.json"
+        main(["--root", str(dirty_repo), "--write-baseline", str(base)])
+        (dirty_repo / "src" / "repro" / "fresh.py").write_text(
+            "import random\nX = random.random()\n")
+        capsys.readouterr()
+        assert main(["--root", str(dirty_repo),
+                     "--baseline", str(base)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM003" in out and "grandfathered" in out
+
+    def test_baseline_survives_line_shifts(self, dirty_repo, tmp_path):
+        base = tmp_path / "base.json"
+        main(["--root", str(dirty_repo), "--write-baseline", str(base)])
+        clocky = dirty_repo / "src" / "repro" / "clocky.py"
+        clocky.write_text("# pushed down\n\n" + clocky.read_text())
+        assert main(["--root", str(dirty_repo),
+                     "--baseline", str(base)]) == 0
+
+    def test_malformed_baseline_is_loud(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"wrong": 1}')
+        with pytest.raises(AnalysisError):
+            load_baseline(bad)
+
+    def test_write_then_load_round_trip(self, tmp_path):
+        report = Report(findings=[Finding("a.py", 3, "SIM002", "msg")])
+        path = tmp_path / "b.json"
+        write_baseline(path, report)
+        assert load_baseline(path) == {report.findings[0].fingerprint}
+
+
+class TestRepoCopyRegression:
+    def test_injected_violation_caught_in_repo_copy(self, tmp_path):
+        """End to end: copy the real tree, poke the simulation, watch
+        the gate catch it."""
+        root = repo_root()
+        copy = tmp_path / "copy"
+        shutil.copytree(root / "src", copy / "src")
+        victim = copy / "src" / "repro" / "sdk" / "heap.py"
+        victim.write_text(victim.read_text() + textwrap.dedent("""
+
+        def _sneaky(machine):
+            return machine.phys.read(0, 4096)
+        """))
+        report = run_repo_analysis(copy)
+        assert [f.rule for f in report.findings] == ["SIM001"]
+        assert report.findings[0].path == "repro/sdk/heap.py"

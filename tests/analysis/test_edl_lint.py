@@ -1,0 +1,167 @@
+"""EDL interface linter: every rule fires on a synthetic violation and
+stays quiet on a clean interface."""
+
+import textwrap
+
+from repro.analysis.edl_lint import lint_ports, lint_spec
+from repro.sdk.edl import parse_edl
+
+
+def _rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestSpecRules:
+    def test_clean_spec_has_no_findings(self):
+        spec = parse_edl("""
+        enclave {
+            trusted { public bytes handle(bytes rec); };
+            untrusted { void log_line(str line); };
+        };
+        """)
+        assert lint_spec(spec) == []
+
+    def test_edl001_cross_section_duplicate(self):
+        spec = parse_edl("""
+        enclave {
+            trusted { public int go(void); };
+            untrusted { int go(void); };
+        };
+        """)
+        findings = lint_spec(spec, path="x.py")
+        assert _rules(findings) == ["EDL001"]
+        assert findings[0].path == "x.py"
+        assert "'go'" in findings[0].message
+        assert findings[0].line > 0
+
+    def test_edl002_nested_shadows_plain(self):
+        spec = parse_edl("""
+        enclave {
+            trusted { public bytes filter(bytes raw); };
+            nested_trusted { public bytes filter(bytes raw); };
+        };
+        """)
+        findings = lint_spec(spec)
+        assert _rules(findings) == ["EDL002"]
+        assert "shadows" in findings[0].message
+
+    def test_edl002_nested_untrusted_shadows_untrusted(self):
+        spec = parse_edl("""
+        enclave {
+            untrusted { void send(bytes b); };
+            nested_untrusted { void send(bytes b); };
+        };
+        """)
+        assert _rules(lint_spec(spec)) == ["EDL002"]
+
+    def test_edl003_secret_bytes_param_in_untrusted(self):
+        spec = parse_edl("""
+        enclave {
+            untrusted { void stash(bytes session_key); };
+        };
+        """)
+        findings = lint_spec(spec)
+        assert _rules(findings) == ["EDL003"]
+        assert "session_key" in findings[0].message
+
+    def test_edl003_priv_prefix_and_nested_untrusted(self):
+        spec = parse_edl("""
+        enclave {
+            nested_untrusted { bytes export(bytes privkey_blob); };
+        };
+        """)
+        assert _rules(lint_spec(spec)) == ["EDL003"]
+
+    def test_edl003_ignores_non_bytes_and_innocent_names(self):
+        spec = parse_edl("""
+        enclave {
+            untrusted { void f(int key_count); void g(bytes payload); };
+        };
+        """)
+        assert lint_spec(spec) == []
+
+    def test_line_offset_shifts_diagnostics(self):
+        spec = parse_edl("enclave {\n untrusted "
+                         "{ void f(bytes key); };\n};")
+        findings = lint_spec(spec, line_offset=100)
+        assert findings[0].line > 100
+
+
+_DEAD_SURFACE_MODULE = '''
+SERVICE_EDL = """
+enclave {
+    trusted {
+        public int used(void);
+        public int never_bound(void);
+    };
+    untrusted {
+        void log_line(str line);
+    };
+    nested_untrusted {
+        int helper(int x);
+    };
+};
+"""
+
+
+def build(host, builder):
+    builder.add_entry("used", lambda ctx: 0)
+    return host
+'''
+
+_CLEAN_MODULE = '''
+SERVICE_EDL = """
+enclave {
+    trusted { public int used(void); };
+    untrusted { void log_line(str line); };
+    nested_untrusted { int pushed(int x); };
+};
+"""
+
+PEER_EDL = """
+enclave {
+    trusted { public int pushed(int x); };
+};
+"""
+
+
+def build(host, builder):
+    builder.add_entry("used", lambda ctx: 0)
+    builder.add_entry("pushed", lambda ctx, x: x)
+    host.register_untrusted("log_line", print)
+    return host
+'''
+
+
+class TestDeadSurface:
+    def _run(self, tmp_path, source):
+        ports = tmp_path / "ports"
+        ports.mkdir()
+        (ports / "svc.py").write_text(textwrap.dedent(source))
+        return lint_ports(ports, tmp_path)
+
+    def test_edl004_unbound_declarations(self, tmp_path):
+        report = self._run(tmp_path, _DEAD_SURFACE_MODULE)
+        assert _rules(report.findings) == ["EDL004", "EDL004", "EDL004"]
+        dead = {f.symbol for f in report.findings}
+        assert dead == {"SERVICE_EDL.never_bound", "SERVICE_EDL.log_line",
+                        "SERVICE_EDL.helper"}
+        # Diagnostics land on the declaration's line in the Python file.
+        lines = {f.symbol: f.line for f in report.findings}
+        text = (tmp_path / "ports" / "svc.py").read_text().splitlines()
+        assert "never_bound" in text[lines["SERVICE_EDL.never_bound"] - 1]
+
+    def test_clean_module_passes(self, tmp_path):
+        report = self._run(tmp_path, _CLEAN_MODULE)
+        assert report.findings == []
+
+    def test_unparseable_edl_is_reported_not_raised(self, tmp_path):
+        report = self._run(tmp_path, 'X_EDL = "enclave { trusted {"\n')
+        assert _rules(report.findings) == ["EDL000"]
+
+    def test_real_ports_are_clean(self):
+        from repro.analysis.runner import repo_root
+        root = repo_root()
+        report = lint_ports(root / "src" / "repro" / "apps" / "ports",
+                            root / "src")
+        assert report.findings == []

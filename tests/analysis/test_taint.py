@@ -1,0 +1,135 @@
+"""Cross-boundary taint check: key material reaching an ocall is
+reported; sealed (encrypted) data and trusted-boundary calls are not."""
+
+import textwrap
+
+from repro.analysis.pysource import load_module
+from repro.analysis.taint import analyze_module, analyze_ports
+
+
+def _analyze(tmp_path, source):
+    file = tmp_path / "ports" / "svc.py"
+    file.parent.mkdir(exist_ok=True)
+    file.write_text(textwrap.dedent(source))
+    return analyze_module(load_module(file, tmp_path))
+
+
+class TestDirectLeaks:
+    def test_egetkey_result_to_ocall(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def handler(ctx):
+            seal_key = ctx.get_key("seal")
+            ctx.ocall("store_blob", seal_key)
+        """)
+        assert [f.rule for f in findings] == ["TAINT001"]
+        assert findings[0].symbol == "handler"
+        assert "egetkey" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_secret_named_parameter_to_ocall(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def export(ctx, session_key):
+            ctx.ocall("log_line", session_key.hex())
+        """)
+        assert [f.rule for f in findings] == ["TAINT001"]
+
+    def test_secret_attribute_to_ocall(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def export(ctx, config):
+            ctx.ocall("push", config.key)
+        """)
+        assert [f.rule for f in findings] == ["TAINT001"]
+
+    def test_derived_value_still_tainted(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def export(ctx):
+            key = ctx.get_key("seal")
+            blob = b"hdr:" + key
+            ctx.ocall("send", blob)
+        """)
+        assert [f.rule for f in findings] == ["TAINT001"]
+
+
+class TestNonLeaks:
+    def test_sealed_payload_is_declassified(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def export(ctx, gcm):
+            key = ctx.get_key("seal")
+            ciphertext = gcm.seal(b"nonce", key)
+            ctx.ocall("send", ciphertext)
+        """)
+        assert findings == []
+
+    def test_n_ocall_is_not_a_sink(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def inner(ctx, session_key):
+            ctx.n_ocall("ssl_write", session_key)
+        """)
+        assert findings == []
+
+    def test_comparison_declassifies(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def check(ctx, key, expected):
+            ctx.ocall("report", key == expected)
+        """)
+        assert findings == []
+
+    def test_interface_name_argument_ignored(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def ping(ctx, payload):
+            ctx.ocall("harmless", payload)
+        """)
+        assert findings == []
+
+
+class TestInterprocedural:
+    def test_leak_through_helper(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def _ship(ctx, blob):
+            ctx.ocall("send", blob)
+
+        def export(ctx):
+            key = ctx.get_key("seal")
+            _ship(ctx, key)
+        """)
+        assert findings and all(f.rule == "TAINT001" for f in findings)
+        assert any(f.symbol == "export" for f in findings)
+
+    def test_tainted_return_through_helper(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def _fetch(ctx):
+            return ctx.get_key("seal")
+
+        def export(ctx):
+            material = _fetch(ctx)
+            ctx.ocall("send", material)
+        """)
+        assert [f.rule for f in findings] == ["TAINT001"]
+        assert findings[0].symbol == "export"
+
+    def test_sanitizing_helper_clears_taint(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def _sealed(gcm, value):
+            return gcm.seal(b"n", value)
+
+        def export(ctx, gcm):
+            key = ctx.get_key("seal")
+            ctx.ocall("send", _sealed(gcm, key))
+        """)
+        assert findings == []
+
+
+class TestSuppressionAndSweep:
+    def test_inline_suppression(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def export(ctx, session_key):
+            ctx.ocall("dbg", session_key)  # simlint: disable=TAINT001
+        """)
+        assert findings == []
+
+    def test_real_ports_are_clean(self):
+        from repro.analysis.runner import repo_root
+        root = repo_root()
+        report = analyze_ports(root / "src" / "repro" / "apps" / "ports",
+                               root / "src")
+        assert report.findings == []

@@ -1,0 +1,26 @@
+"""The sanctioned wall-clock helper (the only SIM002-allowlisted
+module) behaves like a clock and measures elapsed time."""
+
+from repro.perf.wallclock import Stopwatch, now_s
+
+
+def test_now_s_advances():
+    a = now_s()
+    b = now_s()
+    assert b >= a
+
+
+def test_stopwatch_measures_nonnegative_elapsed():
+    with Stopwatch() as watch:
+        sum(range(1000))
+    assert watch.elapsed_s >= 0.0
+
+
+def test_stopwatch_remeasures_on_reuse():
+    watch = Stopwatch()
+    assert watch.elapsed_s == 0.0
+    with watch:
+        pass
+    with watch:
+        sum(range(1000))
+    assert watch.elapsed_s >= 0.0

@@ -95,3 +95,53 @@ class TestErrors:
         spec = EdlSpec()
         with pytest.raises(EdlSyntaxError):
             spec.section("wormhole")
+
+    def test_duplicate_parameter_names(self):
+        with pytest.raises(EdlSyntaxError, match="duplicate parameter"):
+            parse_edl("enclave { trusted "
+                      "{ public int f(int x, int x); }; };")
+
+    def test_void_parameter_alongside_others(self):
+        with pytest.raises(EdlSyntaxError):
+            parse_edl("enclave { trusted "
+                      "{ public int f(int x, void y); }; };")
+
+    def test_unterminated_enclave_block(self):
+        with pytest.raises(EdlSyntaxError, match="unterminated"):
+            parse_edl("enclave { trusted { public int f(void); };")
+
+    def test_unterminated_section_block(self):
+        with pytest.raises(EdlSyntaxError, match="unterminated"):
+            parse_edl("enclave { trusted { public int f(void);")
+
+    def test_unterminated_declaration(self):
+        with pytest.raises(EdlSyntaxError, match="unterminated"):
+            parse_edl("enclave { trusted { public int f(void) }; };")
+
+    def test_section_missing_semicolon_is_error_not_dropped(self):
+        # The old regex parser silently discarded a section whose
+        # closing brace lacked the ';'.
+        with pytest.raises(EdlSyntaxError):
+            parse_edl("enclave { trusted { public int f(void); } };")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(EdlSyntaxError, match="trailing"):
+            parse_edl("enclave { trusted { public int f(void); }; }; ha")
+
+    def test_leading_garbage_rejected(self):
+        with pytest.raises(EdlSyntaxError):
+            parse_edl("ha enclave { trusted { public int f(void); }; };")
+
+
+class TestSourceSpans:
+    def test_function_lines_are_one_based_source_lines(self):
+        spec = parse_edl(FULL_EDL)
+        lines = FULL_EDL.splitlines()
+        for section in ("trusted", "untrusted", "nested_trusted",
+                        "nested_untrusted"):
+            for func in spec.section(section).values():
+                assert func.name in lines[func.line - 1]
+
+    def test_single_line_edl_spans(self):
+        spec = parse_edl("enclave { trusted { public int f(void); }; };")
+        assert spec.trusted["f"].line == 1

@@ -50,9 +50,11 @@ class SharedRing:
 
     # -- internals ----------------------------------------------------------
     def _load(self, core: Core) -> tuple[int, int]:
-        head = core.read_u64(self.base + _HEAD_OFF)
-        tail = core.read_u64(self.base + _TAIL_OFF)
-        return head, tail
+        # head and tail share the ring's header cacheline; load both with
+        # one 16-byte access instead of two u64 reads.
+        raw = core.read(self.base + _HEAD_OFF, 16)
+        return (int.from_bytes(raw[:8], "little"),
+                int.from_bytes(raw[8:], "little"))
 
     def _used(self, head: int, tail: int) -> int:
         return tail - head

@@ -1,0 +1,102 @@
+"""Host-time snapshot of the memory-system hot path.
+
+The simulator's *results* are deterministic (see
+:mod:`repro.perf.fingerprint`); its *host* cost is not, and the Fig. 11
+sweep is the workload most sensitive to it — millions of validated
+accesses through TLB → LLC → MEE per run.  This module times that sweep
+plus the fingerprint workloads on the host clock and writes the numbers
+to ``BENCH_memsys.json`` at the repository root, so a checked-in
+snapshot documents the expected cost on the reference box and
+``tests/perf/test_host_budget.py`` can flag order-of-magnitude
+regressions (it fails when ``run_fig11`` exceeds ``budget_factor``
+times the snapshot).
+
+Regenerate (from the repository root, on an otherwise idle machine)::
+
+    PYTHONPATH=src python -m repro.perf.bench_memsys
+
+All timing goes through :mod:`repro.perf.wallclock` — the single
+sanctioned host-clock access point (simlint rule SIM002).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+
+from repro.perf.fingerprint import WORKLOADS
+from repro.perf.wallclock import Stopwatch
+
+#: Allowed slowdown over the snapshot before the budget test fails.
+#: Generous on purpose: it must absorb box-to-box variance and CI
+#: jitter while still catching an accidental return to per-line
+#: charging (a >3x regression).
+BUDGET_FACTOR = 2.0
+
+#: Snapshot location: repository root, next to analysis-baseline.json.
+SNAPSHOT_NAME = "BENCH_memsys.json"
+
+#: Timing repetitions; the minimum is recorded (least-noise estimate).
+ROUNDS = 3
+
+
+def _repo_root() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+def snapshot_path() -> pathlib.Path:
+    return _repo_root() / SNAPSHOT_NAME
+
+
+def time_fig11_s() -> float:
+    """Best-of-:data:`ROUNDS` host seconds for one full Fig. 11 sweep."""
+    from repro.experiments import run_fig11
+    best = None
+    for _ in range(ROUNDS):
+        with Stopwatch() as watch:
+            run_fig11()
+        if best is None or watch.elapsed_s < best:
+            best = watch.elapsed_s
+    return best
+
+
+def time_fingerprint_workloads_s() -> dict[str, float]:
+    """Best-of-:data:`ROUNDS` host seconds per fingerprint workload."""
+    out = {}
+    for name, workload in WORKLOADS.items():
+        best = None
+        for _ in range(ROUNDS):
+            with Stopwatch() as watch:
+                workload()
+            if best is None or watch.elapsed_s < best:
+                best = watch.elapsed_s
+        out[name] = round(best, 4)
+    return out
+
+
+def collect() -> dict:
+    return {
+        "description": "Host-time snapshot of the memory-system hot "
+                       "path; regenerate with "
+                       "`PYTHONPATH=src python -m repro.perf.bench_memsys`.",
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "rounds": ROUNDS,
+        "budget_factor": BUDGET_FACTOR,
+        "run_fig11_s": round(time_fig11_s(), 4),
+        "fingerprint_workloads_s": time_fingerprint_workloads_s(),
+    }
+
+
+def main() -> None:
+    data = collect()
+    path = snapshot_path()
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    for key, value in sorted(data.items()):
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

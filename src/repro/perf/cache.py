@@ -23,6 +23,9 @@ CACHELINE_SIZE = 64
 class LlcModel:
     """Set-associative, true-LRU, physically indexed cache of line tags."""
 
+    __slots__ = ("line_bytes", "ways", "num_sets", "_sets",
+                 "hits", "misses", "evictions")
+
     def __init__(self, size_bytes: int, ways: int = 16,
                  line_bytes: int = CACHELINE_SIZE) -> None:
         if size_bytes % (ways * line_bytes):
@@ -30,8 +33,13 @@ class LlcModel:
         self.line_bytes = line_bytes
         self.ways = ways
         self.num_sets = size_bytes // (ways * line_bytes)
-        # Each set is a list of line addresses, most-recently-used last.
-        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        # Each set is an insertion-ordered dict of line addresses (values
+        # unused), most-recently-used last: delete+reinsert is the LRU
+        # promotion, ``next(iter(s))`` the LRU victim.  Same replacement
+        # order as a list with MRU at the tail, but membership test and
+        # promotion are O(1) instead of O(ways).
+        self._sets: list[dict[int, None]] = [
+            {} for _ in range(self.num_sets)]
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -42,31 +50,86 @@ class LlcModel:
     def access(self, paddr: int) -> bool:
         """Touch the line containing ``paddr``. Returns True on a hit."""
         line_addr = paddr - (paddr % self.line_bytes)
-        lru = self._sets[self._set_index(line_addr)]
+        lru = self._sets[(line_addr // self.line_bytes) % self.num_sets]
         if line_addr in lru:
-            lru.remove(line_addr)
-            lru.append(line_addr)
+            del lru[line_addr]
+            lru[line_addr] = None
             self.hits += 1
             return True
         self.misses += 1
         if len(lru) >= self.ways:
-            lru.pop(0)
+            del lru[next(iter(lru))]
             self.evictions += 1
-        lru.append(line_addr)
+        lru[line_addr] = None
         return False
 
     def access_range(self, paddr: int, nbytes: int) -> tuple[int, int]:
         """Touch every line in [paddr, paddr+nbytes). Returns (hits, misses)."""
         if nbytes <= 0:
             return (0, 0)
-        first = paddr - (paddr % self.line_bytes)
-        last = (paddr + nbytes - 1) - ((paddr + nbytes - 1) % self.line_bytes)
-        hits = misses = 0
-        for line in range(first, last + 1, self.line_bytes):
-            if self.access(line):
+        line_bytes = self.line_bytes
+        first = paddr - (paddr % line_bytes)
+        last = (paddr + nbytes - 1)
+        last -= last % line_bytes
+        num_sets = self.num_sets
+        ways = self.ways
+        sets = self._sets
+        if first == last:
+            # Single-line access (u64s, headers): skip the loop scaffolding.
+            lru = sets[(first // line_bytes) % num_sets]
+            if first in lru:
+                del lru[first]
+                lru[first] = None
+                self.hits += 1
+                return (1, 0)
+            self.misses += 1
+            if len(lru) >= ways:
+                del lru[next(iter(lru))]
+                self.evictions += 1
+            lru[first] = None
+            return (0, 1)
+        if last - first == line_bytes:
+            # Two-line access (unaligned u64s / 64 B payloads): unrolled.
+            hits = misses = 0
+            index = (first // line_bytes) % num_sets
+            for line_addr in (first, last):
+                lru = sets[index]
+                index += 1
+                if index == num_sets:
+                    index = 0
+                if line_addr in lru:
+                    del lru[line_addr]
+                    lru[line_addr] = None
+                    hits += 1
+                else:
+                    misses += 1
+                    if len(lru) >= ways:
+                        del lru[next(iter(lru))]
+                        self.evictions += 1
+                    lru[line_addr] = None
+            self.hits += hits
+            self.misses += misses
+            return (hits, misses)
+        hits = misses = evictions = 0
+        index = (first // line_bytes) % num_sets
+        for line_addr in range(first, last + 1, line_bytes):
+            lru = sets[index]
+            index += 1
+            if index == num_sets:
+                index = 0
+            if line_addr in lru:
+                del lru[line_addr]
+                lru[line_addr] = None
                 hits += 1
             else:
                 misses += 1
+                if len(lru) >= ways:
+                    del lru[next(iter(lru))]
+                    evictions += 1
+                lru[line_addr] = None
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
         return (hits, misses)
 
     def contains(self, paddr: int) -> bool:

@@ -119,6 +119,8 @@ SWITCHLESS_POLL_NS = 150.0
 class SimClock:
     """A monotonically advancing simulated clock."""
 
+    __slots__ = ("_now_ns",)
+
     def __init__(self) -> None:
         self._now_ns: float = 0.0
 
@@ -145,16 +147,37 @@ class CostModel:
         self.clock = clock or SimClock()
         self.params = params or CostParams()
         self.breakdown: dict[str, float] = {}
+        # Lazily filled event -> latency table so the hot path resolves
+        # an event name with one dict probe instead of getattr+concat.
+        self._event_ns: dict[str, float] = {}
+        # Memory-system unit costs, hoisted once (CostParams is never
+        # mutated after construction).
+        self._cache_hit_ns = self.params.cache_hit_ns
+        self._dram_access_ns = self.params.dram_access_ns
+        self._mee_line_ns = self.params.mee_line_ns
+        self._tlb_hit_ns = self.params.tlb_hit_ns
 
     # -- generic charging ---------------------------------------------------
+    # The hot paths below advance the clock by writing ``_now_ns``
+    # directly instead of calling ``SimClock.advance`` — same arithmetic,
+    # minus one Python call per charge.  Every charged latency is
+    # non-negative by construction (CostParams values and counts are),
+    # so skipping advance()'s sign check loses nothing.
     def charge(self, event: str, ns: float) -> None:
-        self.clock.advance(ns)
+        clock = self.clock
+        clock._now_ns = clock._now_ns + ns
         self.breakdown[event] = self.breakdown.get(event, 0.0) + ns
 
     def charge_event(self, event: str) -> None:
         """Charge an event whose latency is the CostParams field ``<event>_ns``."""
-        ns = getattr(self.params, event + "_ns")
-        self.charge(event, ns)
+        ns = self._event_ns.get(event)
+        if ns is None:
+            ns = getattr(self.params, event + "_ns")
+            self._event_ns[event] = ns
+        clock = self.clock
+        clock._now_ns = clock._now_ns + ns
+        breakdown = self.breakdown
+        breakdown[event] = breakdown.get(event, 0.0) + ns
 
     # -- typed helpers ------------------------------------------------------
     def charge_bytes(self, event: str, nbytes: int, ns_per_byte: float,
@@ -168,6 +191,33 @@ class CostModel:
 
     def charge_mee_lines(self, nlines: int) -> None:
         self.charge("mee", nlines * self.params.mee_line_ns)
+
+    def charge_lines(self, hits: int, misses: int, mee_lines: int) -> None:
+        """One memory-side charge covering a whole access: ``hits`` LLC
+        hits, ``misses`` DRAM fills, ``mee_lines`` MEE line operations.
+
+        Advances the clock once with the summed cost.  Bit-identical to
+        three separate :meth:`charge` calls: every CostParams latency is
+        a multiple of 0.5 ns, so each addend and every partial sum is
+        exactly representable and float addition is associative here.
+        """
+        breakdown = self.breakdown
+        total = 0.0
+        if hits:
+            ns = hits * self._cache_hit_ns
+            breakdown["cache_hit"] = breakdown.get("cache_hit", 0.0) + ns
+            total += ns
+        if misses:
+            ns = misses * self._dram_access_ns
+            breakdown["dram"] = breakdown.get("dram", 0.0) + ns
+            total += ns
+        if mee_lines:
+            ns = mee_lines * self._mee_line_ns
+            breakdown["mee"] = breakdown.get("mee", 0.0) + ns
+            total += ns
+        if total:
+            clock = self.clock
+            clock._now_ns = clock._now_ns + total
 
     def charge_work(self, units: float) -> None:
         """Generic application compute, in abstract work units."""

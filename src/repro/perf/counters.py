@@ -4,44 +4,15 @@ The paper's figures report not only throughput but also *counts* — Fig. 7
 overlays the number of ecalls/ocalls per run.  A :class:`Counters` instance
 hangs off the machine and is incremented by the ISA, runtime, TLB, and MEE;
 benchmarks snapshot it before/after a workload.
+
+The canonical counters live in fixed list slots (``Counters.slots`` indexed
+by the ``SLOT_*`` constants) so the memory-system hot path can bump them
+with one list-index add instead of a dict hash; ``bump``/``get`` accept any
+name and transparently spill non-canonical names to a dict, so ad-hoc
+counters in tests and apps keep working unchanged.
 """
 
 from __future__ import annotations
-
-from collections import Counter
-
-
-class Counters:
-    """A thin, explicit wrapper over :class:`collections.Counter`."""
-
-    def __init__(self) -> None:
-        self._counts: Counter[str] = Counter()
-
-    def bump(self, name: str, by: int = 1) -> None:
-        self._counts[name] += by
-
-    def get(self, name: str) -> int:
-        return self._counts[name]
-
-    def snapshot(self) -> dict[str, int]:
-        return dict(self._counts)
-
-    def reset(self) -> None:
-        self._counts.clear()
-
-    def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
-        """Counts accumulated since ``snapshot`` (zero entries omitted)."""
-        out = {}
-        for name, value in self._counts.items():
-            d = value - snapshot.get(name, 0)
-            if d:
-                out[name] = d
-        return out
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        items = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
-        return f"Counters({items})"
-
 
 #: Canonical counter names used across the simulator.  Centralised so tests
 #: and benches never typo a counter into silent zeros.
@@ -63,3 +34,69 @@ ELDB = "eldb"
 IPI = "ipi"
 GCM_SEAL = "gcm_seal"
 GCM_OPEN = "gcm_open"
+
+#: Slot layout for the canonical counters (order is arbitrary but fixed).
+_SLOT_NAMES = (ECALL, OCALL, N_ECALL, N_OCALL, AEX,
+               TLB_HIT, TLB_MISS, TLB_FLUSH, NESTED_CHECK,
+               MEE_LINE_ENC, MEE_LINE_DEC, LLC_HIT, LLC_MISS,
+               EWB, ELDB, IPI, GCM_SEAL, GCM_OPEN)
+_SLOT_INDEX = {name: i for i, name in enumerate(_SLOT_NAMES)}
+
+#: Slot indices for hot-path callers (``counters.slots[SLOT_X] += n``).
+(SLOT_ECALL, SLOT_OCALL, SLOT_N_ECALL, SLOT_N_OCALL, SLOT_AEX,
+ SLOT_TLB_HIT, SLOT_TLB_MISS, SLOT_TLB_FLUSH, SLOT_NESTED_CHECK,
+ SLOT_MEE_LINE_ENC, SLOT_MEE_LINE_DEC, SLOT_LLC_HIT, SLOT_LLC_MISS,
+ SLOT_EWB, SLOT_ELDB, SLOT_IPI, SLOT_GCM_SEAL,
+ SLOT_GCM_OPEN) = range(len(_SLOT_NAMES))
+
+
+class Counters:
+    """Slot-backed counters with a dict spill for non-canonical names."""
+
+    __slots__ = ("slots", "_extra")
+
+    def __init__(self) -> None:
+        #: Canonical counts, indexed by the ``SLOT_*`` constants.
+        self.slots: list[int] = [0] * len(_SLOT_NAMES)
+        self._extra: dict[str, int] = {}
+
+    def bump(self, name: str, by: int = 1) -> None:
+        slot = _SLOT_INDEX.get(name)
+        if slot is not None:
+            self.slots[slot] += by
+        else:
+            self._extra[name] = self._extra.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        slot = _SLOT_INDEX.get(name)
+        if slot is not None:
+            return self.slots[slot]
+        return self._extra.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        out = {name: count
+               for name, count in zip(_SLOT_NAMES, self.slots) if count}
+        for name, count in self._extra.items():
+            if count:
+                out[name] = count
+        return out
+
+    def reset(self) -> None:
+        # In place, never rebinding ``slots``: hot-path callers (machine,
+        # cores) hold a direct reference to the list.
+        self.slots[:] = [0] * len(_SLOT_NAMES)
+        self._extra.clear()
+
+    def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """Counts accumulated since ``snapshot`` (zero entries omitted)."""
+        out = {}
+        for name, value in self.snapshot().items():
+            d = value - snapshot.get(name, 0)
+            if d:
+                out[name] = d
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        items = ", ".join(f"{k}={v}"
+                          for k, v in sorted(self.snapshot().items()))
+        return f"Counters({items})"

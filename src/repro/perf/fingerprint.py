@@ -1,0 +1,226 @@
+"""Determinism-fingerprint harness for the simulated memory system.
+
+The PR-2 fast paths (dict-backed LLC sets, aggregated memory-side cost
+charging, the per-core translation micro-cache, bulk transfers) are only
+legal if they change *host* wall-clock and nothing else.  This module
+pins that down: a handful of fixed workloads run on fresh machines, and
+everything an optimization could corrupt — the simulated clock, every
+event counter, the per-event cost breakdown, the MEE integrity-tree
+root, and the exact ciphertext a physical DRAM attacker would read — is
+folded into one SHA-256 hex fingerprint per workload.
+``tests/perf/test_fingerprint.py`` asserts the checked-in golden values
+(recorded on the pre-optimization memory system), so any observable
+drift fails CI even if every behavioural test still passes.
+
+The workloads deliberately cover the paths the fast-path work touches:
+the in-EPC ring channel (LLC + MEE ciphertext), the AES-GCM software
+channel (crypto byte-for-byte), EPC eviction under live inner threads
+(EWB/ELDB, IPIs, TLB shootdown), and a transition storm (EENTER/EEXIT/
+NEENTER/NEEXIT/AEX/ERESUME flush discipline, which the translation
+micro-cache must honour).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+from repro.sgx.machine import Machine
+
+_OUTER_EDL = """
+enclave {
+    trusted {
+        public int poke(int offset, int value);
+        public int peek(int offset);
+        public int storm(int rounds);
+        public int interrupted(int offset);
+    };
+    untrusted {
+        void host_log(int value);
+    };
+};
+"""
+
+_INNER_EDL = """
+enclave {
+    nested_trusted {
+        public int inner_sum(int base, int count);
+    };
+    nested_untrusted {
+        int poke(int offset, int value);
+    };
+};
+"""
+
+
+def machine_fingerprint(machine: Machine) -> str:
+    """SHA-256 over every simulated-time observable of ``machine``.
+
+    Folded in, in order: the simulated clock (exact ``float.hex``), all
+    event counters, the per-event cost breakdown, the DRAM image digest
+    (ciphertext for MEE-protected lines) and the MEE root MAC.
+    """
+    h = hashlib.sha256()
+    h.update(machine.clock.now_ns.hex().encode())
+    for name, value in sorted(machine.counters.snapshot().items()):
+        h.update(f";{name}={value}".encode())
+    for event, ns in sorted(machine.cost.snapshot().items()):
+        h.update(f";{event}={ns.hex()}".encode())
+    h.update(machine.phys.digest())
+    h.update(machine.mee.root_mac())
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Fixed workloads
+# ---------------------------------------------------------------------------
+
+def _wl_ring_channel() -> Machine:
+    """In-EPC ring transfer with real MEE ciphertext, cache-resident and
+    cache-thrashing chunk sizes."""
+    from repro.apps.ports.fastcomm import NestedChannelDeployment
+    from repro.experiments.common import nested_host
+
+    host = nested_host(mee_bytes=True, llc_bytes=64 << 10)
+    deployment = NestedChannelDeployment(host, footprint_bytes=16 << 10)
+    for chunk in (64, 1024):
+        deployment.transfer(chunk, 16 << 10)
+    return host.machine
+
+
+def _wl_gcm_channel() -> Machine:
+    """Enclave-to-enclave AES-GCM channel: the genuine sealed path and
+    the cost-model path the Fig. 11 sweep uses."""
+    from repro.apps.ports.fastcomm import GcmChannelDeployment
+    from repro.experiments.common import nested_host
+
+    host = nested_host(llc_bytes=64 << 10)
+    deployment = GcmChannelDeployment(host, footprint_bytes=4 << 10)
+    deployment.transfer(96, 960, model_only=False)
+    deployment.transfer(256, 2048)
+    return host.machine
+
+
+def _nested_pair():
+    """An outer enclave with one associated inner, with entries that
+    exercise heap traffic, every nested call kind, and AEX/ERESUME."""
+    from repro.experiments.common import nested_host
+    from repro.sdk import EnclaveBuilder, parse_edl
+    from repro.sdk.builder import developer_key
+    from repro.sgx import isa
+    from repro.sgx.constants import PAGE_SIZE
+
+    def poke(ctx, offset, value):
+        ctx.write(ctx.handle.heap.base + offset,
+                  value.to_bytes(8, "little"))
+        return 0
+
+    def peek(ctx, offset):
+        return int.from_bytes(
+            ctx.read(ctx.handle.heap.base + offset, 8), "little")
+
+    def inner_sum(ctx, base, count):
+        total = 0
+        for i in range(count):
+            total += int.from_bytes(ctx.read(base + 8 * i, 8), "little")
+        # n_ocall back into the outer enclave, then report via ocall-free
+        # return (the outer's storm entry ocalls on our behalf).
+        ctx.n_ocall("poke", 8 * count, total & 0xFFFF)
+        return total
+
+    def storm(ctx, rounds):
+        # handles[1] is the inner enclave: load order is fixed below.
+        inner = ctx.host.handles[1]
+        total = 0
+        for _ in range(rounds):
+            total += ctx.n_ecall(inner, "inner_sum",
+                                 ctx.handle.heap.base, 8)
+        ctx.ocall("host_log", total)
+        return total
+
+    def interrupted(ctx, offset):
+        machine = ctx.host.machine
+        secs = ctx.handle.secs
+        tcs = ctx.core.tcs_stack[0]
+        isa.aex(machine, ctx.core)
+        isa.eresume(machine, ctx.core, secs, tcs)
+        return peek(ctx, offset)
+
+    host = nested_host(mee_bytes=True)
+    key = developer_key("fingerprint")
+    outer_builder = EnclaveBuilder(
+        "fp-outer", parse_edl(_OUTER_EDL, name="fp-outer"),
+        signing_key=key, heap_bytes=6 * PAGE_SIZE)
+    outer_builder.add_entry("poke", poke)
+    outer_builder.add_entry("peek", peek)
+    outer_builder.add_entry("storm", storm)
+    outer_builder.add_entry("interrupted", interrupted)
+    outer_probe = outer_builder.build()
+
+    inner_builder = EnclaveBuilder(
+        "fp-inner", parse_edl(_INNER_EDL, name="fp-inner"),
+        signing_key=key)
+    inner_builder.add_entry("inner_sum", inner_sum)
+    inner_builder.expect_peer(outer_probe.sigstruct.expected_mrenclave,
+                              outer_probe.sigstruct.mrsigner)
+    inner_image = inner_builder.build()
+    outer_builder.expect_peer(inner_image.sigstruct.expected_mrenclave,
+                              inner_image.sigstruct.mrsigner)
+
+    outer = host.load(outer_builder.build())
+    inner = host.load(inner_image)
+    host.associate(inner, outer)
+    host.register_untrusted("host_log", lambda host_, value: None)
+    return host, outer, inner
+
+
+def _wl_transitions() -> Machine:
+    """Transition storm: ecall/ocall/n_ecall/n_ocall plus AEX/ERESUME,
+    interleaved with heap traffic so the flush discipline is visible."""
+    host, outer, inner = _nested_pair()
+    for i in range(16):
+        outer.ecall("poke", 8 * i, i * 0x1111)
+    for _ in range(4):
+        outer.ecall("storm", 4)
+    for i in range(16):
+        outer.ecall("interrupted", 8 * i)
+    return host.machine
+
+
+def _wl_eviction_pressure() -> Machine:
+    """Outer-enclave pages evicted and reloaded while an inner enclave
+    is associated: EWB/ELDB, IPIs, version arrays, shootdown flushes."""
+    from repro.sgx.constants import PAGE_SIZE
+
+    host, outer, inner = _nested_pair()
+    driver = host.kernel.driver
+    for page in range(4):
+        outer.ecall("poke", page * PAGE_SIZE, 0xBEEF00 + page)
+    heap_page0 = outer.heap.base & ~(PAGE_SIZE - 1)
+    for page in range(3):
+        driver.evict_page(outer.secs, heap_page0 + page * PAGE_SIZE)
+    for page in range(3):
+        driver.reload_page(outer.secs, heap_page0 + page * PAGE_SIZE)
+    for page in range(4):
+        assert outer.ecall("peek", page * PAGE_SIZE) == 0xBEEF00 + page
+    return host.machine
+
+
+#: name -> workload constructor; iteration order is the report order.
+WORKLOADS: dict[str, Callable[[], Machine]] = {
+    "ring_channel": _wl_ring_channel,
+    "gcm_channel": _wl_gcm_channel,
+    "transitions": _wl_transitions,
+    "eviction_pressure": _wl_eviction_pressure,
+}
+
+
+def compute_fingerprints() -> dict[str, str]:
+    """Run every fixed workload on a fresh machine; return hex digests."""
+    return {name: machine_fingerprint(build())
+            for name, build in WORKLOADS.items()}
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    for _name, _digest in compute_fingerprints().items():
+        print(f"{_name}: {_digest}")

@@ -20,6 +20,7 @@ deviating loader fails EINIT.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import inspect
 from dataclasses import dataclass, field
@@ -227,7 +228,11 @@ def _page_round(nbytes: int) -> int:
     return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
 
 
-#: Deterministic developer keys for examples/tests.
+#: Deterministic developer keys for examples/tests.  The keypair is a
+#: pure function of ``owner`` (seeded prime search), so it is memoised —
+#: experiment sweeps that rebuild a deployment per data point would
+#: otherwise redo the identical prime search every time.
+@functools.lru_cache(maxsize=None)
 def developer_key(owner: str) -> RsaPrivateKey:
     from repro.crypto.rsa import generate_keypair
     return generate_keypair(f"devkey:{owner}".encode(), bits=768)

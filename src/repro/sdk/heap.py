@@ -40,14 +40,19 @@ class EnclaveHeap:
         self.size = size
 
     # -- header accessors -------------------------------------------------
+    # Headers move as one 16-byte access (not two u64s): headers are
+    # 16-aligned so the pair never spans a cacheline, and halving the
+    # access count halves the allocator's memory-system cost.
     @staticmethod
     def _read_hdr(core: Core, addr: int) -> tuple[int, int]:
-        return core.read_u64(addr), core.read_u64(addr + 8)
+        raw = core.read(addr, _HDR)
+        return (int.from_bytes(raw[:8], "little"),
+                int.from_bytes(raw[8:], "little"))
 
     @staticmethod
     def _write_hdr(core: Core, addr: int, size: int, tag: int) -> None:
-        core.write_u64(addr, size)
-        core.write_u64(addr + 8, tag)
+        core.write(addr, size.to_bytes(8, "little")
+                   + tag.to_bytes(8, "little"))
 
     # -- lifecycle ------------------------------------------------------------
     def initialise(self, core: Core) -> None:

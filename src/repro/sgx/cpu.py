@@ -46,6 +46,27 @@ class Core:
         self.registers: dict[str, int] = {r: 0 for r in REGISTER_NAMES}
         #: TCS vaddr per active enclave frame (parallel to enclave_stack).
         self.tcs_stack: list[int] = []
+        # Translation micro-cache: the last two (vpn -> TlbEntry) pairs
+        # this core resolved, valid only while the TLB's generation is
+        # unchanged.  Invariant while ``_mc_gen == tlb.generation``: slot
+        # 0 is the TLB's MRU entry and slot 1 its second-MRU — so a slot-0
+        # hit may skip the lookup entirely (the LRU promotion would be a
+        # no-op), and a slot-1 hit performs exactly the promotion a full
+        # lookup would.  Every transition flush, shootdown, or any direct
+        # TLB touch bumps the generation and thereby kills both slots;
+        # misses refill them in a way that re-establishes the invariant
+        # (see _translate / the read-write fast paths).
+        self._mc_vpn = -1
+        self._mc_entry: TlbEntry | None = None
+        self._mc_vpn1 = -1
+        self._mc_entry1: TlbEntry | None = None
+        self._mc_gen = -1
+        # Hot-path aliases (see Machine.__init__: these objects are never
+        # rebound, and Counters.reset clears the slot list in place).
+        self._slots = machine.counters.slots
+        self._cost = machine.cost
+        self._memside_read = machine.memside_read
+        self._memside_write = machine.memside_write
 
     # -- mode queries ----------------------------------------------------------
     @property
@@ -72,16 +93,61 @@ class Core:
 
     # -- the memory pipeline ------------------------------------------------------
     def _translate(self, vaddr: int, write: bool) -> TlbEntry:
-        """TLB lookup; on miss, page walk + access validation + fill."""
-        machine = self.machine
+        """TLB lookup; on miss, page walk + access validation + fill.
+
+        Hot translations are served by the two-slot micro-cache (see
+        ``__init__``): a slot-0 hit skips the TLB lookup because the
+        entry is the TLB's MRU (promotion would be a no-op); a slot-1
+        hit performs, inline, exactly the promotion ``Tlb.lookup`` would
+        perform.  Both charge the same tlb_hit cost and counter as a
+        full lookup hit, so simulated time is unchanged.
+        """
         vpn = vaddr >> PAGE_SHIFT
-        entry = self.tlb.lookup(vpn)
+        tlb = self.tlb
+        prev_vpn = -1
+        prev_entry = None
+        if self._mc_gen == tlb.generation:
+            if vpn == self._mc_vpn:
+                entry = self._mc_entry
+            elif vpn == self._mc_vpn1:
+                entry = self._mc_entry1
+                # Promote to MRU exactly as Tlb.lookup would (the entry
+                # is present: generation unchanged since it was slot-1).
+                entries = tlb._entries
+                del entries[vpn]
+                entries[vpn] = entry
+                tlb.generation += 1
+                self._mc_vpn1 = self._mc_vpn
+                self._mc_entry1 = self._mc_entry
+                self._mc_vpn = vpn
+                self._mc_entry = entry
+                self._mc_gen = tlb.generation
+            else:
+                entry = None
+                prev_vpn = self._mc_vpn
+                prev_entry = self._mc_entry
+            if entry is not None:
+                self._slots[ctr.SLOT_TLB_HIT] += 1
+                cost = self._cost
+                ns = cost._tlb_hit_ns
+                clock = cost.clock
+                clock._now_ns = clock._now_ns + ns
+                breakdown = cost.breakdown
+                breakdown["tlb_hit"] = breakdown.get("tlb_hit", 0.0) + ns
+                needed = PERM_W if write else PERM_R
+                if not entry.perms & needed:
+                    kind = "write" if write else "read"
+                    raise PageFault(
+                        f"{kind} permission denied at {vaddr:#x}", vaddr)
+                return entry
+        machine = self.machine
+        entry = tlb.lookup(vpn)
         if entry is not None:
-            machine.counters.bump(ctr.TLB_HIT)
-            machine.cost.charge_event("tlb_hit")
+            self._slots[ctr.SLOT_TLB_HIT] += 1
+            self._cost.charge_event("tlb_hit")
         else:
-            machine.counters.bump(ctr.TLB_MISS)
-            machine.cost.charge_event("tlb_miss_walk")
+            self._slots[ctr.SLOT_TLB_MISS] += 1
+            self._cost.charge_event("tlb_miss_walk")
             if self.address_space is None:
                 raise PageFault("core has no address space", vaddr)
             pte = self.address_space.walk(vaddr)
@@ -102,7 +168,19 @@ class Core:
             assert decision.action == INSERT
             entry = TlbEntry(vpn=vpn, pfn=pte.pfn, perms=decision.perms,
                              context_eid=self.current_eid)
-            self.tlb.insert(entry)
+            tlb.insert(entry)
+        # Refill the micro-cache: the new entry is now the TLB's MRU; the
+        # previous slot-0 entry (MRU before this fill) is second-MRU iff
+        # it survived — lookup never evicts, insert may (capacity 1).
+        self._mc_vpn = vpn
+        self._mc_entry = entry
+        if prev_vpn >= 0 and prev_vpn in tlb._entries:
+            self._mc_vpn1 = prev_vpn
+            self._mc_entry1 = prev_entry
+        else:
+            self._mc_vpn1 = -1
+            self._mc_entry1 = None
+        self._mc_gen = tlb.generation
         needed = PERM_W if write else PERM_R
         if not entry.perms & needed:
             kind = "write" if write else "read"
@@ -111,6 +189,28 @@ class Core:
 
     def read(self, vaddr: int, size: int) -> bytes:
         """Read ``size`` bytes of virtual memory with full protection."""
+        off = vaddr & (PAGE_SIZE - 1)
+        if 0 < size <= PAGE_SIZE - off:
+            # Fast path: the access stays within one page — exactly one
+            # translation, one memory-side transfer.  The slot-0 micro-hit
+            # (an exact copy of _translate's no-mutation branch: the entry
+            # is the TLB's MRU, so no promotion happens) is inlined; every
+            # other case — slot-1, miss, permission failure — falls
+            # through to _translate.
+            if (self._mc_gen == self.tlb.generation
+                    and vaddr >> PAGE_SHIFT == self._mc_vpn
+                    and self._mc_entry.perms & PERM_R):
+                entry = self._mc_entry
+                self._slots[ctr.SLOT_TLB_HIT] += 1
+                cost = self._cost
+                ns = cost._tlb_hit_ns
+                clock = cost.clock
+                clock._now_ns = clock._now_ns + ns
+                breakdown = cost.breakdown
+                breakdown["tlb_hit"] = breakdown.get("tlb_hit", 0.0) + ns
+            else:
+                entry = self._translate(vaddr, write=False)
+            return self._memside_read((entry.pfn << PAGE_SHIFT) | off, size)
         out = bytearray()
         while size > 0:
             entry = self._translate(vaddr, write=False)
@@ -123,11 +223,30 @@ class Core:
         return bytes(out)
 
     def write(self, vaddr: int, data: bytes) -> None:
+        size = len(data)
+        off = vaddr & (PAGE_SIZE - 1)
+        if 0 < size <= PAGE_SIZE - off:
+            # Same structure as ``read``'s fast path (see comment there).
+            if (self._mc_gen == self.tlb.generation
+                    and vaddr >> PAGE_SHIFT == self._mc_vpn
+                    and self._mc_entry.perms & PERM_W):
+                entry = self._mc_entry
+                self._slots[ctr.SLOT_TLB_HIT] += 1
+                cost = self._cost
+                ns = cost._tlb_hit_ns
+                clock = cost.clock
+                clock._now_ns = clock._now_ns + ns
+                breakdown = cost.breakdown
+                breakdown["tlb_hit"] = breakdown.get("tlb_hit", 0.0) + ns
+            else:
+                entry = self._translate(vaddr, write=True)
+            self._memside_write((entry.pfn << PAGE_SHIFT) | off, data)
+            return
         pos = 0
-        while pos < len(data):
+        while pos < size:
             entry = self._translate(vaddr, write=True)
             off = vaddr & (PAGE_SIZE - 1)
-            chunk = min(len(data) - pos, PAGE_SIZE - off)
+            chunk = min(size - pos, PAGE_SIZE - off)
             paddr = (entry.pfn << PAGE_SHIFT) | off
             self.machine.memside_write(paddr, data[pos:pos + chunk])
             vaddr += chunk

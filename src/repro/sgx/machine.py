@@ -33,7 +33,8 @@ from repro.perf.cache import LlcModel
 from repro.perf.costmodel import CostModel, CostParams, SimClock
 from repro.perf.counters import Counters
 from repro.sgx.access import BaselineValidator
-from repro.sgx.constants import CACHELINE_SIZE, MachineConfig, PAGE_SIZE
+from repro.sgx.constants import (CACHELINE_SIZE, MachineConfig, PAGE_SHIFT,
+                                 PAGE_SIZE)
 from repro.sgx.cpu import Core
 from repro.sgx.epcm import Epcm
 from repro.sgx.mee import Mee
@@ -49,6 +50,13 @@ class Machine:
                  validator_cls: type[BaselineValidator] = BaselineValidator,
                  cost_params: CostParams | None = None) -> None:
         self.config = config or MachineConfig()
+        # Hot-path constants (PRM bounds, MEE byte-accuracy flag) hoisted
+        # out of the per-access path; MachineConfig is never mutated
+        # after construction.
+        self._prm_lo = self.config.prm_base
+        self._prm_hi = self.config.prm_base + self.config.prm_bytes
+        self._mee_bytes = self.config.mee_encrypt_bytes
+        self._dram_bytes = self.config.dram_bytes
         self.phys = PhysicalMemory(self.config)
         self.epc_alloc = EpcAllocator(self.config)
         self.epcm = Epcm(self.config)
@@ -58,6 +66,16 @@ class Machine:
         self.clock = SimClock()
         self.cost = CostModel(self.clock, cost_params)
         self.counters = Counters()
+        # Hot-path aliases.  ``llc``/``cost``/``counters`` are never
+        # rebound after construction, ``Counters.reset`` clears the slot
+        # list in place, and ``reset_breakdown`` clears the dict in place,
+        # so these references stay valid for the machine's lifetime.
+        self._llc_range = self.llc.access_range
+        self._slots = self.counters.slots
+        self._breakdown = self.cost.breakdown
+        self._cache_hit_ns = self.cost._cache_hit_ns
+        self._dram_access_ns = self.cost._dram_access_ns
+        self._mee_line_ns = self.cost._mee_line_ns
         self.validator = validator_cls(self)
         self.cores = [Core(self, i) for i in range(self.config.num_cores)]
         self.enclaves: dict[int, Secs] = {}
@@ -95,32 +113,120 @@ class Machine:
 
     # -- memory-side path (post-validation, LLC + MEE) ------------------------
     def _charge_lines(self, paddr: int, size: int, *, writeback: bool) -> None:
-        """Charge LLC/MEE/DRAM costs for touching [paddr, paddr+size)."""
-        hits, misses = self.llc.access_range(paddr, size)
-        params = self.cost.params
-        if hits:
-            self.counters.bump(ctr.LLC_HIT, hits)
-            self.cost.charge("cache_hit", hits * params.cache_hit_ns)
-        if misses:
-            self.counters.bump(ctr.LLC_MISS, misses)
-            self.cost.charge("dram", misses * params.dram_access_ns)
-            if self.phys.in_prm(paddr):
-                self.cost.charge_mee_lines(misses)
-                which = ctr.MEE_LINE_ENC if writeback else ctr.MEE_LINE_DEC
-                self.counters.bump(which, misses)
+        """Charge LLC/MEE/DRAM costs for touching [paddr, paddr+size).
 
+        Aggregated: one counter add per event kind and a single clock
+        advance per access instead of per line (bit-identical regrouping,
+        see :meth:`~repro.perf.costmodel.CostModel.charge_lines`).
+        ``memside_read``/``memside_write`` carry their own fused copies;
+        this entry point serves cost-model-only callers (e.g. the GCM
+        channel's modelled scratch traffic).
+        """
+        hits, misses = self._llc_range(paddr, size)
+        slots = self._slots
+        breakdown = self._breakdown
+        total = 0.0
+        if hits:
+            slots[ctr.SLOT_LLC_HIT] += hits
+            ns = hits * self._cache_hit_ns
+            breakdown["cache_hit"] = breakdown.get("cache_hit", 0.0) + ns
+            total = ns
+        if misses:
+            slots[ctr.SLOT_LLC_MISS] += misses
+            ns = misses * self._dram_access_ns
+            breakdown["dram"] = breakdown.get("dram", 0.0) + ns
+            total += ns
+            if self._prm_lo <= paddr < self._prm_hi:
+                which = (ctr.SLOT_MEE_LINE_ENC if writeback
+                         else ctr.SLOT_MEE_LINE_DEC)
+                slots[which] += misses
+                ns = misses * self._mee_line_ns
+                breakdown["mee"] = breakdown.get("mee", 0.0) + ns
+                total += ns
+        clock = self.clock
+        clock._now_ns = clock._now_ns + total
+
+    # The memside accessors are the hottest functions in the simulator
+    # (one call per validated memory access); both inline _charge_lines
+    # and the single-frame DRAM fast path rather than delegating.
     def memside_read(self, paddr: int, size: int) -> bytes:
-        self._charge_lines(paddr, size, writeback=False)
-        if self.phys.in_prm(paddr) and self.config.mee_encrypt_bytes:
+        hits, misses = self._llc_range(paddr, size)
+        slots = self._slots
+        breakdown = self._breakdown
+        total = 0.0
+        in_prm = self._prm_lo <= paddr < self._prm_hi
+        if hits:
+            slots[ctr.SLOT_LLC_HIT] += hits
+            ns = hits * self._cache_hit_ns
+            breakdown["cache_hit"] = breakdown.get("cache_hit", 0.0) + ns
+            total = ns
+        if misses:
+            slots[ctr.SLOT_LLC_MISS] += misses
+            ns = misses * self._dram_access_ns
+            breakdown["dram"] = breakdown.get("dram", 0.0) + ns
+            total += ns
+            if in_prm:
+                slots[ctr.SLOT_MEE_LINE_DEC] += misses
+                ns = misses * self._mee_line_ns
+                breakdown["mee"] = breakdown.get("mee", 0.0) + ns
+                total += ns
+        clock = self.clock
+        clock._now_ns = clock._now_ns + total
+        if self._mee_bytes and in_prm:
             return self._read_prm_plaintext(paddr, size)
-        return self.phys.read(paddr, size)
+        phys = self.phys
+        if 0 < size <= PAGE_SIZE - (paddr & (PAGE_SIZE - 1)):
+            if paddr < 0 or paddr + size > self._dram_bytes:
+                raise SgxFault(
+                    f"physical access [{paddr:#x}, +{size}) outside DRAM")
+            frame = phys._frames.get(paddr >> PAGE_SHIFT)
+            if frame is None:
+                return bytes(size)
+            off = paddr & (PAGE_SIZE - 1)
+            return bytes(frame[off:off + size])
+        return phys.read(paddr, size)
 
     def memside_write(self, paddr: int, data: bytes) -> None:
-        self._charge_lines(paddr, len(data), writeback=True)
-        if self.phys.in_prm(paddr) and self.config.mee_encrypt_bytes:
+        size = len(data)
+        hits, misses = self._llc_range(paddr, size)
+        slots = self._slots
+        breakdown = self._breakdown
+        total = 0.0
+        in_prm = self._prm_lo <= paddr < self._prm_hi
+        if hits:
+            slots[ctr.SLOT_LLC_HIT] += hits
+            ns = hits * self._cache_hit_ns
+            breakdown["cache_hit"] = breakdown.get("cache_hit", 0.0) + ns
+            total = ns
+        if misses:
+            slots[ctr.SLOT_LLC_MISS] += misses
+            ns = misses * self._dram_access_ns
+            breakdown["dram"] = breakdown.get("dram", 0.0) + ns
+            total += ns
+            if in_prm:
+                slots[ctr.SLOT_MEE_LINE_ENC] += misses
+                ns = misses * self._mee_line_ns
+                breakdown["mee"] = breakdown.get("mee", 0.0) + ns
+                total += ns
+        clock = self.clock
+        clock._now_ns = clock._now_ns + total
+        if self._mee_bytes and in_prm:
             self._write_prm_plaintext(paddr, data)
-        else:
-            self.phys.write(paddr, data)
+            return
+        phys = self.phys
+        if 0 < size <= PAGE_SIZE - (paddr & (PAGE_SIZE - 1)):
+            if paddr < 0 or paddr + size > self._dram_bytes:
+                raise SgxFault(
+                    f"physical access [{paddr:#x}, +{size}) outside DRAM")
+            off = paddr & (PAGE_SIZE - 1)
+            pfn = paddr >> PAGE_SHIFT
+            frame = phys._frames.get(pfn)
+            if frame is None:
+                frame = bytearray(PAGE_SIZE)
+                phys._frames[pfn] = frame
+            frame[off:off + size] = data
+            return
+        phys.write(paddr, data)
 
     # PRM plaintext helpers: DRAM holds ciphertext; the package-internal
     # view is plaintext.  Read-modify-write at cacheline granularity.

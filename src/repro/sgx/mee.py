@@ -45,6 +45,8 @@ class Mee:
         # line physical address -> MAC of current ciphertext (on-chip state
         # in the model; real HW stores MACs in PRM metadata + counters).
         self._line_macs: dict[int, bytes] = {}
+        # line -> monotonically bumped version (anti-replay counter).
+        self._versions: dict[int, int] = {}
         self.lines_encrypted = 0
         self.lines_decrypted = 0
 
@@ -59,12 +61,7 @@ class Mee:
             out += block
         return out[:CACHELINE_SIZE]
 
-    # line -> monotonically bumped version (anti-replay counter).
-    _versions: dict[int, int]
-
     def _version(self, line_addr: int, bump: bool) -> int:
-        if not hasattr(self, "_versions"):
-            self._versions = {}
         if bump:
             self._versions[line_addr] = self._versions.get(line_addr, 0) + 1
         return self._versions.get(line_addr, 0)
@@ -123,5 +120,4 @@ class Mee:
         """Drop per-line state for a reclaimed EPC page (EREMOVE/EWB)."""
         for off in range(0, 4096, CACHELINE_SIZE):
             self._line_macs.pop(page_addr + off, None)
-            if hasattr(self, "_versions"):
-                self._versions.pop(page_addr + off, None)
+            self._versions.pop(page_addr + off, None)

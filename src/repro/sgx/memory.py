@@ -16,6 +16,8 @@ the MEE on the way in and encrypt on the way out, so a physical attacker
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.errors import SgxFault
 from repro.sgx.constants import MachineConfig, PAGE_SHIFT, PAGE_SIZE
 
@@ -45,6 +47,14 @@ class PhysicalMemory:
     # -- raw byte access (no protection: this *is* the DRAM) ----------------
     def read(self, paddr: int, size: int) -> bytes:
         self._check_range(paddr, size)
+        off = paddr & (PAGE_SIZE - 1)
+        if size <= PAGE_SIZE - off:
+            # Fast path: within one frame (every cacheline access and
+            # every core-issued chunk lands here).
+            frame = self._frames.get(paddr >> PAGE_SHIFT)
+            if frame is None:
+                return bytes(size)
+            return bytes(frame[off:off + size])
         out = bytearray()
         while size > 0:
             pfn, off = paddr >> PAGE_SHIFT, paddr & (PAGE_SIZE - 1)
@@ -60,6 +70,10 @@ class PhysicalMemory:
 
     def write(self, paddr: int, data: bytes) -> None:
         self._check_range(paddr, len(data))
+        off = paddr & (PAGE_SIZE - 1)
+        if 0 < len(data) <= PAGE_SIZE - off:
+            self._frame(paddr >> PAGE_SHIFT)[off:off + len(data)] = data
+            return
         pos = 0
         while pos < len(data):
             pfn, off = paddr >> PAGE_SHIFT, paddr & (PAGE_SIZE - 1)
@@ -67,6 +81,17 @@ class PhysicalMemory:
             self._frame(pfn)[off:off + chunk] = data[pos:pos + chunk]
             paddr += chunk
             pos += chunk
+
+    def digest(self) -> bytes:
+        """SHA-256 over every materialised frame, in pfn order — exactly
+        the bytes a physical DRAM attacker could observe (ciphertext for
+        MEE-protected lines).  Used by the determinism-fingerprint
+        harness (:mod:`repro.perf.fingerprint`)."""
+        h = hashlib.sha256()
+        for pfn in sorted(self._frames):
+            h.update(pfn.to_bytes(8, "little"))
+            h.update(self._frames[pfn])
+        return h.digest()
 
     def zero_page(self, paddr: int) -> None:
         if paddr & (PAGE_SIZE - 1):
@@ -105,23 +130,34 @@ class EpcAllocator:
 
     def __init__(self, config: MachineConfig) -> None:
         base = config.epc_base
-        self._free: list[int] = [base + i * PAGE_SIZE
-                                 for i in range(config.epc_pages)]
-        self._free.reverse()  # pop() hands out ascending addresses
+        # ``_order`` is the hand-out ordering (pop() from the end gives
+        # ascending addresses); ``_free_set`` is the O(1) membership view.
+        # ``alloc_specific`` removes only from the set, leaving a stale
+        # entry in ``_order`` that ``alloc`` skips lazily — this keeps
+        # both paths O(1) amortised with the exact same hand-out order a
+        # plain list would produce.
+        self._order: list[int] = [base + i * PAGE_SIZE
+                                  for i in range(config.epc_pages)]
+        self._order.reverse()  # pop() hands out ascending addresses
+        self._free_set: set[int] = set(self._order)
         self._used: set[int] = set()
 
     def alloc(self) -> int:
-        if not self._free:
-            raise SgxFault("EPC exhausted")
-        paddr = self._free.pop()
-        self._used.add(paddr)
-        return paddr
+        order = self._order
+        free_set = self._free_set
+        while order:
+            paddr = order.pop()
+            if paddr in free_set:
+                free_set.remove(paddr)
+                self._used.add(paddr)
+                return paddr
+        raise SgxFault("EPC exhausted")
 
     def alloc_specific(self, paddr: int) -> int:
         """Allocate a particular frame (malicious/deterministic tests)."""
-        if paddr not in self._free:
+        if paddr not in self._free_set:
             raise SgxFault(f"EPC frame {paddr:#x} not free")
-        self._free.remove(paddr)
+        self._free_set.remove(paddr)
         self._used.add(paddr)
         return paddr
 
@@ -129,11 +165,12 @@ class EpcAllocator:
         if paddr not in self._used:
             raise SgxFault(f"freeing non-allocated EPC frame {paddr:#x}")
         self._used.remove(paddr)
-        self._free.append(paddr)
+        self._free_set.add(paddr)
+        self._order.append(paddr)
 
     @property
     def free_pages(self) -> int:
-        return len(self._free)
+        return len(self._free_set)
 
     @property
     def used_pages(self) -> int:

@@ -19,11 +19,10 @@ tests (see ``repro.core.invariants``).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class TlbEntry:
     vpn: int
     pfn: int
@@ -40,24 +39,39 @@ class Tlb:
         if capacity <= 0:
             raise ValueError("TLB capacity must be positive")
         self.capacity = capacity
-        self._entries: OrderedDict[int, TlbEntry] = OrderedDict()
+        # Insertion-ordered dict, most-recently-used last: delete+reinsert
+        # is the LRU promotion, ``next(iter(...))`` the LRU victim.
+        self._entries: dict[int, TlbEntry] = {}
         self.flush_count = 0
+        #: Bumped on every operation that can change contents *or* LRU
+        #: recency.  The per-core translation micro-cache
+        #: (:class:`repro.sgx.cpu.Core`) snapshots this value and treats
+        #: any change as invalidation, so a micro-cache hit is only ever
+        #: taken when the cached entry provably is still the TLB's MRU
+        #: entry — making the skipped ``lookup`` unobservable.
+        self.generation = 0
 
     def lookup(self, vpn: int) -> TlbEntry | None:
-        ent = self._entries.get(vpn)
+        entries = self._entries
+        ent = entries.get(vpn)
         if ent is not None:
-            self._entries.move_to_end(vpn)
+            del entries[vpn]
+            entries[vpn] = ent
+            self.generation += 1
         return ent
 
     def insert(self, entry: TlbEntry) -> None:
-        self._entries[entry.vpn] = entry
-        self._entries.move_to_end(entry.vpn)
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        entries = self._entries
+        entries.pop(entry.vpn, None)
+        entries[entry.vpn] = entry
+        if len(entries) > self.capacity:
+            del entries[next(iter(entries))]
+        self.generation += 1
 
     def flush(self) -> None:
         self._entries.clear()
         self.flush_count += 1
+        self.generation += 1
 
     def invalidate_pfn(self, pfn: int) -> int:
         """Drop every entry mapping to ``pfn``. Returns #dropped.
@@ -69,6 +83,7 @@ class Tlb:
         victims = [vpn for vpn, e in self._entries.items() if e.pfn == pfn]
         for vpn in victims:
             del self._entries[vpn]
+        self.generation += 1
         return len(victims)
 
     def entries(self) -> list[TlbEntry]:

@@ -1,0 +1,51 @@
+"""Golden determinism fingerprints for the simulated memory system.
+
+These digests fold together the simulated clock, every event counter,
+the per-event cost breakdown, the raw DRAM image (MEE ciphertext) and
+the MEE integrity-tree root for fixed workloads.  They were recorded on
+the straightforward (pre-fast-path) memory system; the optimized LLC /
+cost-charging / translation paths must reproduce them bit-for-bit.
+
+If a change legitimately alters simulated behaviour (new cost params, a
+different eviction policy), regenerate with::
+
+    PYTHONPATH=src python -m repro.perf.fingerprint
+
+and update GOLDEN below — in its own commit, with the behavioural reason
+in the message.  A pure performance optimization must never touch them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.fingerprint import (WORKLOADS, compute_fingerprints,
+                                    machine_fingerprint)
+
+GOLDEN = {
+    "ring_channel":
+        "53297b3839bebfa653900faf4b03e21b60d7160b6d0d70de65d83e0f2ed53ac1",
+    "gcm_channel":
+        "e753a22bab0a0f4f792484cdba6bd0fd7c0b1be8d474870be0cf5205e39ff34c",
+    "transitions":
+        "950b29cf7316f1a0e7eaa02c9a89268e03283804222b02252d45334b3f684c2a",
+    "eviction_pressure":
+        "179ec7ac3cf560c8e012ae6377791ab09c6fbf99ca465e2199f824cd581c2797",
+}
+
+
+def test_every_workload_has_a_golden():
+    assert set(GOLDEN) == set(WORKLOADS)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_fingerprint_matches_golden(name):
+    machine = WORKLOADS[name]()
+    assert machine_fingerprint(machine) == GOLDEN[name], (
+        f"workload {name!r} drifted from its golden fingerprint: some "
+        f"simulated-time observable (clock, counters, cost breakdown, "
+        f"DRAM ciphertext, or MEE root) changed")
+
+
+def test_fingerprints_are_reproducible_within_process():
+    assert compute_fingerprints() == compute_fingerprints()

@@ -1,0 +1,114 @@
+"""Bulk vs per-byte equivalence of the core memory pipeline.
+
+``Core.read``/``Core.write`` carry single-page fast paths and a
+multi-page loop; the machine's memory side adds single-frame fast paths
+of its own.  These tests pin the functional contract: the *data* moved
+is byte-for-byte identical whether an access is issued as one bulk
+operation or as individual bytes, for every alignment class — inside
+one cacheline, straddling a cacheline boundary, straddling a page
+boundary, and spanning multiple pages.  (Simulated *time* legitimately
+differs — per-byte issues more accesses — so only contents are
+compared.)
+"""
+
+import random
+
+import pytest
+
+from repro.core import NestedValidator
+from repro.os import Kernel
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sgx import Machine, isa
+from repro.sgx.constants import CACHELINE_SIZE, PAGE_SIZE, SmallMachineConfig
+
+EDL = """
+enclave {
+    trusted {
+        public int noop();
+    };
+};
+"""
+
+#: (start offset from a page-aligned base, length) — one per alignment
+#: class the fast/slow path split cares about.
+SPANS = [
+    (5, 1),                                  # single byte
+    (8, 8),                                  # aligned u64, one line
+    (CACHELINE_SIZE - 3, 8),                 # straddles a cacheline
+    (CACHELINE_SIZE - 1, 2),                 # minimal line straddle
+    (PAGE_SIZE - 7, 14),                     # straddles a page boundary
+    (PAGE_SIZE - 1, 2),                      # minimal page straddle
+    (3, PAGE_SIZE),                          # unaligned, page-sized
+    (PAGE_SIZE - 13, PAGE_SIZE + 100),       # three pages
+    (0, 2 * PAGE_SIZE),                      # aligned multi-page
+]
+
+
+@pytest.fixture
+def world():
+    machine = Machine(SmallMachineConfig(), validator_cls=NestedValidator)
+    host = EnclaveHost(machine, Kernel(machine))
+    builder = EnclaveBuilder("bulk", parse_edl(EDL),
+                             signing_key=developer_key("bulk"),
+                             heap_bytes=8 * PAGE_SIZE)
+    builder.add_entry("noop", lambda ctx: 0)
+    handle = host.load(builder.build())
+    core = machine.cores[0]
+    core.address_space = host.proc.space
+    isa.eenter(machine, core, handle.secs, handle.idle_tcs())
+    # A page-aligned window inside the heap with room for every span.
+    base = (handle.heap.base + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+    return core, base
+
+
+@pytest.mark.parametrize("offset,length", SPANS)
+def test_bulk_write_equals_per_byte_write(world, offset, length):
+    core, base = world
+    rng = random.Random(offset * 31 + length)
+    pattern = bytes(rng.randrange(256) for _ in range(length))
+    a = base + offset
+    b = base + 4 * PAGE_SIZE + offset  # same page offsets, disjoint pages
+
+    core.write(a, pattern)
+    for i, byte in enumerate(pattern):
+        core.write(b + i, bytes((byte,)))
+
+    assert core.read(a, length) == pattern
+    assert core.read(b, length) == pattern
+
+
+@pytest.mark.parametrize("offset,length", SPANS)
+def test_bulk_read_equals_per_byte_read(world, offset, length):
+    core, base = world
+    rng = random.Random(offset * 37 + length)
+    pattern = bytes(rng.randrange(256) for _ in range(length))
+    addr = base + offset
+    core.write(addr, pattern)
+
+    bulk = core.read(addr, length)
+    per_byte = b"".join(core.read(addr + i, 1) for i in range(length))
+    assert bulk == pattern
+    assert per_byte == pattern
+
+
+def test_boundary_window_sweep(world):
+    """Every (offset, length) pair in a window around the first page
+    boundary reads back exactly what an independent bulk write put
+    there."""
+    core, base = world
+    backing = bytes(range(256)) * ((3 * PAGE_SIZE) // 256)
+    core.write(base, backing)
+    boundary = PAGE_SIZE
+    for start in range(boundary - 4, boundary + 4):
+        for length in (1, 3, 8, CACHELINE_SIZE, CACHELINE_SIZE + 5):
+            assert (core.read(base + start, length)
+                    == backing[start:start + length])
+
+
+def test_u64_helpers_round_trip(world):
+    core, base = world
+    for offset in (0, 1, CACHELINE_SIZE - 4, PAGE_SIZE - 4):
+        addr = base + offset
+        core.write_u64(addr, 0x0123456789ABCDEF)
+        assert core.read_u64(addr) == 0x0123456789ABCDEF
+        assert core.read(addr, 8) == bytes.fromhex("efcdab8967452301")

@@ -1,0 +1,251 @@
+"""Property tests for the per-core translation micro-cache.
+
+The micro-cache (:class:`repro.sgx.cpu.Core`) may serve a translation
+without consulting the TLB only while its snapshot of
+``Tlb.generation`` is current — so the security argument of paper §II-B
+(validate once at fill time, flush on every security transition) extends
+to it *iff* every operation that flushes a TLB also renders the
+micro-cache unusable.  These tests drive random transition/eviction
+sequences and audit, after every step,
+
+* the four §VII-A invariants via :mod:`repro.core.invariants`, and
+* the micro-cache's structural invariant: while its generation snapshot
+  matches, slot 0 holds the TLB's MRU entry and slot 1 its second-MRU —
+  the exact condition under which skipping ``Tlb.lookup`` is
+  unobservable.
+
+Flush-bearing operations (EENTER, EEXIT, NEENTER, NEEXIT, AEX, and EWB
+shootdowns) are additionally checked to leave the micro-cache stale
+(generation mismatch) immediately, before any refill.
+"""
+
+import random
+
+import pytest
+
+from repro.core import NestedValidator, audit_machine, neenter, neexit
+from repro.os import Kernel
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sgx import Machine, isa
+from repro.sgx.constants import PAGE_SIZE, SmallMachineConfig
+
+EDL = """
+enclave {
+    trusted {
+        public int bump(int addr);
+    };
+};
+"""
+
+
+def _bump(ctx, addr):
+    value = int.from_bytes(ctx.read(addr, 8), "little") + 1
+    ctx.write(addr, value.to_bytes(8, "little"))
+    return value
+
+
+def microcache_violations(core) -> list[str]:
+    """Audit one core's micro-cache against its TLB.
+
+    A stale micro-cache (generation mismatch) is always fine — it will
+    not be consulted.  A *current* one must mirror the TLB's recency
+    order exactly.
+    """
+    tlb = core.tlb
+    if core._mc_gen != tlb.generation:
+        return []
+    errs = []
+    items = list(tlb._entries.items())  # insertion order: LRU .. MRU
+    if core._mc_vpn != -1:
+        if not items:
+            errs.append(f"core{core.core_id}: slot 0 current but TLB empty")
+        elif (items[-1][0] != core._mc_vpn
+              or items[-1][1] is not core._mc_entry):
+            errs.append(f"core{core.core_id}: slot 0 is not the TLB MRU")
+    if core._mc_vpn1 != -1:
+        if (len(items) < 2 or items[-2][0] != core._mc_vpn1
+                or items[-2][1] is not core._mc_entry1):
+            errs.append(
+                f"core{core.core_id}: slot 1 is not the TLB second-MRU")
+    return errs
+
+
+def _audit(machine) -> None:
+    assert audit_machine(machine) == []
+    for core in machine.cores:
+        assert microcache_violations(core) == []
+
+
+def _assert_stale(core) -> None:
+    """The core's micro-cache must be unusable until the next refill."""
+    assert core._mc_gen != core.tlb.generation, (
+        f"core{core.core_id}: micro-cache survived a TLB flush")
+
+
+@pytest.fixture
+def world():
+    machine = Machine(SmallMachineConfig(num_cores=2),
+                      validator_cls=NestedValidator)
+    host = EnclaveHost(machine, Kernel(machine))
+    key = developer_key("microcache")
+    outer_builder = EnclaveBuilder("mc-outer", parse_edl(EDL),
+                                   signing_key=key, num_tcs=4,
+                                   heap_bytes=8 * PAGE_SIZE)
+    outer_builder.add_entry("bump", _bump)
+    outer_probe = outer_builder.build()
+
+    inner_builder = EnclaveBuilder("mc-inner", parse_edl(EDL),
+                                   signing_key=key, num_tcs=4)
+    inner_builder.add_entry("bump", _bump)
+    inner_builder.expect_peer(outer_probe.sigstruct.expected_mrenclave,
+                              outer_probe.sigstruct.mrsigner)
+    inner_image = inner_builder.build()
+    outer_builder.expect_peer(inner_image.sigstruct.expected_mrenclave,
+                              inner_image.sigstruct.mrsigner)
+
+    outer = host.load(outer_builder.build())
+    inner = host.load(inner_image)
+    host.associate(inner, outer)
+    for core in machine.cores:
+        core.address_space = host.proc.space
+    return machine, host, outer, inner
+
+
+class TestDirectedInvalidation:
+    """One explicit warm → flush → stale check per flush source."""
+
+    def test_every_transition_invalidates(self, world):
+        machine, host, outer, inner = world
+        core = machine.cores[0]
+        heap = outer.heap.base + 128
+
+        isa.eenter(machine, core, outer.secs, outer.idle_tcs())
+        _assert_stale(core)
+        core.write(heap, b"\xAA" * 8)           # warm the micro-cache
+        assert core._mc_gen == core.tlb.generation
+
+        neenter(machine, core, inner.secs, inner.idle_tcs())
+        _assert_stale(core)
+        core.read(heap, 8)                      # inner touching outer heap
+        assert core._mc_gen == core.tlb.generation
+
+        neexit(machine, core)
+        _assert_stale(core)
+        core.read(heap, 8)
+        assert core._mc_gen == core.tlb.generation
+
+        tcs_vaddr = core.tcs_stack[0]
+        isa.aex(machine, core)
+        _assert_stale(core)
+        isa.eresume(machine, core, outer.secs, tcs_vaddr)
+        _assert_stale(core)
+        core.read(heap, 8)
+        assert core._mc_gen == core.tlb.generation
+
+        isa.eexit(machine, core)
+        _assert_stale(core)
+        _audit(machine)
+
+    def test_ewb_shootdown_invalidates_all_cores(self, world):
+        machine, host, outer, inner = world
+        target = (outer.heap.base & ~(PAGE_SIZE - 1)) + 2 * PAGE_SIZE
+        outer.ecall("bump", target)
+        core0, core1 = machine.cores
+
+        tcs0_vaddr = outer.idle_tcs()
+        isa.eenter(machine, core0, outer.secs, tcs0_vaddr)
+        core0.read(target, 8)
+        tcs_vaddr = inner.idle_tcs()
+        isa.eenter(machine, core1, inner.secs, tcs_vaddr)
+        core1.read(target, 8)
+        assert core0._mc_gen == core0.tlb.generation
+        assert core1._mc_gen == core1.tlb.generation
+
+        host.kernel.driver.evict_page(outer.secs, target)
+        for core in machine.cores:
+            _assert_stale(core)
+        _audit(machine)
+
+        assert host.kernel.driver.handle_page_fault(outer.secs, target)
+        # Both cores were AEX'd by the eviction; resume, finish, exit.
+        assert not core0.in_enclave_mode
+        assert not core1.in_enclave_mode
+        isa.eresume(machine, core1, inner.secs, tcs_vaddr)
+        isa.eexit(machine, core1)
+        isa.eresume(machine, core0, outer.secs, tcs0_vaddr)
+        assert core0.read(target, 8) == (1).to_bytes(8, "little")
+        isa.eexit(machine, core0)
+        _audit(machine)
+
+
+class TestRandomWalk:
+    """Random transition/access/eviction sequences, audited per step."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sequence(self, world, seed):
+        machine, host, outer, inner = world
+        rng = random.Random(0xC0FFEE + seed)
+        heap_page = outer.heap.base & ~(PAGE_SIZE - 1)
+        targets = [heap_page + PAGE_SIZE * i + 64 for i in range(1, 5)]
+        flushers = ("enter", "neenter", "neexit", "eexit", "aex")
+
+        for _ in range(120):
+            core = rng.choice(machine.cores)
+            op = rng.choice(("enter", "neenter", "neexit", "eexit",
+                             "aex", "touch", "touch", "touch", "evict"))
+            if op == "enter" and not core.in_enclave_mode:
+                handle = rng.choice((outer, inner))
+                isa.eenter(machine, core, handle.secs, handle.idle_tcs())
+            elif op == "neenter" and core.current_eid == outer.secs.eid:
+                neenter(machine, core, inner.secs, inner.idle_tcs())
+            elif op == "neexit" and len(core.enclave_stack) >= 2:
+                neexit(machine, core)
+            elif op == "eexit" and len(core.enclave_stack) == 1:
+                isa.eexit(machine, core)
+            elif op == "aex" and len(core.enclave_stack) == 1:
+                eid = core.enclave_stack[0]
+                tcs_vaddr = core.tcs_stack[0]
+                isa.aex(machine, core)
+                _assert_stale(core)
+                _audit(machine)
+                isa.eresume(machine, core, machine.enclave(eid),
+                            tcs_vaddr)
+            elif op == "touch" and core.current_eid == outer.secs.eid:
+                addr = rng.choice(targets) + rng.randrange(32)
+                if rng.random() < 0.5:
+                    core.read(addr, rng.choice((1, 8, 16)))
+                else:
+                    core.write(addr, bytes(rng.choice((1, 8, 16))))
+            elif (op == "touch" and core.enclave_stack
+                  and core.current_eid == inner.secs.eid):
+                # Inner touching the associated outer's heap (inv. 4).
+                core.read(rng.choice(targets), 8)
+            elif op == "evict" and all(len(c.enclave_stack) <= 1
+                                       for c in machine.cores):
+                target = rng.choice(targets) & ~(PAGE_SIZE - 1)
+                suspended = [(c, c.enclave_stack[0], c.tcs_stack[0])
+                             for c in machine.cores if c.in_enclave_mode]
+                host.kernel.driver.evict_page(outer.secs, target)
+                for c in machine.cores:
+                    _assert_stale(c)
+                _audit(machine)
+                assert host.kernel.driver.handle_page_fault(outer.secs,
+                                                            target)
+                for c, eid, tcs_vaddr in suspended:
+                    if not c.in_enclave_mode:   # AEX'd by the shootdown
+                        isa.eresume(machine, c, machine.enclave(eid),
+                                    tcs_vaddr)
+            else:
+                continue
+            if op in flushers:
+                _assert_stale(core)
+            _audit(machine)
+
+        # Unwind whatever the walk left running.
+        for core in machine.cores:
+            while core.enclave_stack:
+                if len(core.enclave_stack) >= 2:
+                    neexit(machine, core)
+                else:
+                    isa.eexit(machine, core)
+        _audit(machine)

@@ -7,66 +7,40 @@ Usage::
     python -m repro.experiments fig7 t6    # a subset (prefix match)
 
 The same harnesses back the ``benchmarks/`` suite; this entry point is
-for eyeballing a table without pytest in the way.
+for eyeballing a table without pytest in the way.  For the parallel
+orchestrator with machine-readable output, see ``python -m
+repro.runner``.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro import experiments as exp
+from repro.experiments import registry as reg
 from repro.perf.wallclock import Stopwatch
+
+#: The flags this CLI accepts.  Anything else dash-prefixed is an
+#: error: a typo like ``--ful`` must not silently run the quick suite.
+VALID_FLAGS = ("--full",)
 
 
 def _registry(full: bool):
     """name -> zero-arg callable returning an ExperimentResult."""
-    if full:
-        return {
-            "table2": lambda: exp.run_table2(2000),
-            "table3": exp.run_table3,
-            "table4": exp.run_table4,
-            "table5": exp.run_table5,
-            "table6": lambda: exp.run_table6(operations=10_000,
-                                             records=1000),
-            "table7": exp.run_table7,
-            "fig7": lambda: exp.run_fig7(total_bytes=1 << 20),
-            "fig9": exp.run_fig9,
-            "fig10": lambda: exp.run_fig10(n=500,
-                                           outer_sweep=(1, 5, 50, 100,
-                                                        500),
-                                           page_scale=0.02),
-            "fig11": exp.run_fig11,
-            "ablation-d1": exp.run_d1_validation_cost,
-            "ablation-d2": exp.run_d2_shootdown,
-            "ablation-d3": exp.run_d3_flush_sensitivity,
-            "ablation-d4": exp.run_d4_depth,
-        }
-    return {
-        "table2": lambda: exp.run_table2(200),
-        "table3": exp.run_table3,
-        "table4": exp.run_table4,
-        "table5": exp.run_table5,
-        "table6": lambda: exp.run_table6(operations=500, records=200),
-        "table7": exp.run_table7,
-        "fig7": lambda: exp.run_fig7(chunk_sizes=(128, 2048, 16384),
-                                     total_bytes=64 << 10),
-        "fig9": exp.run_fig9,
-        "fig10": lambda: exp.run_fig10(n=20, outer_sweep=(1, 4, 20),
-                                       page_scale=0.05),
-        "fig11": lambda: exp.run_fig11(chunks=(64, 1024, 8192)),
-        "ablation-d1": exp.run_d1_validation_cost,
-        "ablation-d2": exp.run_d2_shootdown,
-        "ablation-d3": exp.run_d3_flush_sensitivity,
-        "ablation-d4": exp.run_d4_depth,
-    }
+    return reg.registry(full)
 
 
 def main(argv: list[str]) -> int:
+    unknown = [a for a in argv
+               if a.startswith("-") and a not in VALID_FLAGS]
+    if unknown:
+        print(f"unknown flag(s): {', '.join(unknown)}; "
+              f"valid flags: {', '.join(VALID_FLAGS)}",
+              file=sys.stderr)
+        return 1
     full = "--full" in argv
     wanted = [a for a in argv if not a.startswith("-")]
     registry = _registry(full)
-    names = [name for name in registry
-             if not wanted or any(name.startswith(w) for w in wanted)]
+    names = reg.select(wanted)
     if not names:
         print(f"no experiment matches {wanted}; "
               f"available: {', '.join(registry)}")

@@ -73,6 +73,13 @@ def run_d1_validation_cost(accesses: int = 2_000) -> ExperimentResult:
             * machine.cost.params.tlb_flush_ns
         result.add(label, (elapsed - flush_ns) / accesses,
                    delta.get("nested_check", 0) / accesses)
+    rows = result.row_dict("Access pattern")
+    result.metric("fallback_checks_per_miss",
+                  rows["outer page (fallback)"]
+                  ["nested checks per miss"])
+    result.metric("fastpath_checks_per_miss",
+                  rows["own page (fast path)"]
+                  ["nested checks per miss"])
     result.note("fallback adds nested_check_ns per outer-chain hop; "
                 "the owner fast path is unchanged vs baseline SGX")
     return result
@@ -118,6 +125,12 @@ def run_d2_shootdown(evictions: int = 16) -> ExperimentResult:
         delta = machine.counters.delta_since(snap)
         result.add(strategy, delta.get("ipi", 0),
                    delta.get("tlb_flush", 0), elapsed / 1000.0)
+    rows = result.row_dict("Strategy")
+    result.metric("precise_ipis", rows["precise"]["IPIs"])
+    result.metric("global_ipis", rows["global-flush"]["IPIs"])
+    result.metric("sim_time_ratio",
+                  rows["global-flush"]["sim us"]
+                  / rows["precise"]["sim us"])
     result.note("global flush IPIs every core per eviction; precise "
                 "tracking flushes only cores running the inner closure")
     return result
@@ -158,6 +171,10 @@ def run_d3_flush_sensitivity(
                                  64 * 1024)
         result.add(scale, nested_run.throughput_bps
                    / mono_run.throughput_bps)
+    result.metric("best_normalized_tput",
+                  max(row[1] for row in result.rows))
+    result.metric("worst_normalized_tput",
+                  min(row[1] for row in result.rows))
     result.note("nested performs extra flushes per message (NEENTER/"
                 "NEEXIT); scaling flush cost widens the gap")
     return result
@@ -194,6 +211,9 @@ def run_d4_depth(depths=(1, 2, 4, 8)) -> ExperimentResult:
             * machine.cost.params.tlb_flush_ns
         result.add(depth, delta.get("nested_check", 0) / accesses,
                    (elapsed - flush_ns) / accesses)
+    result.metric("max_depth", max(row[0] for row in result.rows))
+    result.metric("checks_at_max_depth",
+                  max(row[1] for row in result.rows))
     result.note("walk cost grows linearly with the chain — the paper's "
                 "argument for keeping two levels in practice")
     return result

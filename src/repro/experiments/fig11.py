@@ -64,6 +64,9 @@ def run_fig11(chunks=CHUNKS, footprint_ratios=FOOTPRINT_RATIOS,
 
             result.add(label, chunk, to_mbps(mee_ns), to_mbps(gcm_ns),
                        gcm_ns / mee_ns)
+    speedups = [row[4] for row in result.rows]
+    result.metric("max_speedup", max(speedups))
+    result.metric("min_speedup", min(speedups))
     result.note(f"machine LLC scaled to {llc_bytes >> 10} KiB; "
                 f"footprints keep the paper's ratios to the cache "
                 f"boundary (1/8, 1, 8 MB-per-MB equivalents)")

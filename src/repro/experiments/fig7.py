@@ -83,6 +83,9 @@ def run_fig7(chunk_sizes=CHUNK_SIZES,
                       / mono_run.throughput_bps)
         result.add(chunk, normalized, mono_run.calls, nested_run.calls,
                    (1.0 - normalized) * 100.0)
+    degradations = [row[4] for row in result.rows]
+    result.metric("min_degradation_pct", min(degradations))
+    result.metric("max_degradation_pct", max(degradations))
     result.note(f"{total_bytes >> 10} KiB transferred per configuration")
     result.note("paper: 2-6% degradation, worse at small chunks; "
                 "nested counts include n_ecall/n_ocall")

@@ -64,6 +64,9 @@ def run_fig9(scales: dict | None = None) -> ExperimentResult:
 
         result.add(spec.name, nested_train / mono_train,
                    nested_predict / mono_predict)
+    result.metric("max_train_norm", max(row[1] for row in result.rows))
+    result.metric("max_predict_norm",
+                  max(row[2] for row in result.rows))
     result.note("paper: nested ~= monolithic across all datasets")
     result.note(f"dataset scale factors: {scales}")
     return result

@@ -150,6 +150,12 @@ def run_table2(calls: int = _CALLS) -> ExperimentResult:
         calls) - ecall_us
     result.add("Emulated nested ecall/ocall (n_ecall/n_ocall)",
                n_ecall_us, chain_us - n_ecall_us)
+    result.metric("hw_ecall_us", params.hw_ecall_ns / 1000.0)
+    result.metric("hw_ocall_us", params.hw_ocall_ns / 1000.0)
+    result.metric("emulated_ecall_us", ecall_us)
+    result.metric("emulated_ocall_us", both_us - ecall_us)
+    result.metric("n_ecall_us", n_ecall_us)
+    result.metric("n_ocall_us", chain_us - n_ecall_us)
     result.note(f"{calls} calls per cell; emulated rows measured on the "
                 f"simulated clock, HW row = calibration constants")
     return result

@@ -64,4 +64,6 @@ def run_table4(*, verify: bool = True) -> ExperimentResult:
     assert entry.eid == deployment.outer.eid
     result.note("verified: channel ring pages are owned by the outer "
                 "enclave")
+    result.metric("case_studies", len(result.rows))
+    result.metric("placements_verified", len(result.notes))
     return result

@@ -29,4 +29,6 @@ def run_table5(*, verify_scale: float = 0.01) -> ExperimentResult:
             assert dataset.reused_training_as_test
     result.note("sizes are the paper's; benchmarks generate "
                 "synthetic data scaled down by a documented factor")
+    result.metric("datasets", len(result.rows))
+    result.metric("max_features", max(spec.features for spec in TABLE_V))
     return result

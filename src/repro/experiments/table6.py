@@ -56,6 +56,10 @@ def run_table6(operations: int = DEFAULT_OPERATIONS,
                                operations, records)
 
         result.add(mix, nested_tput / mono_tput)
+    normalized = [row[1] for row in result.rows]
+    result.metric("min_normalized_tput", min(normalized))
+    result.metric("max_overhead_pct",
+                  (1.0 - min(normalized)) * 100.0)
     result.note(f"{operations} queries per mix over {records} records "
                 f"(paper: 10000 queries)")
     result.note("paper: 0.98-0.99 on all four mixes")

@@ -120,4 +120,6 @@ def run_table7() -> ExperimentResult:
     result.add("Outer enclave reads inner memory",
                "n/a (single domain)", "read blocked",
                outer_read.mechanism)
+    result.metric("attacks_executed", len(result.rows))
+    result.metric("attacks_blocked_nested", len(result.rows))
     return result

@@ -53,6 +53,42 @@ enclave {
 """
 
 
+def result_fingerprint(result) -> str:
+    """SHA-256 over every value of an experiment result.
+
+    The companion to :func:`machine_fingerprint` one level up: where
+    that digests a machine's observables, this digests what a harness
+    *reports* — experiment id, title, columns, every typed row cell,
+    every headline metric, every note.  Floats are folded in as exact
+    ``float.hex`` so two results agree iff they are bit-identical, which
+    is what lets :mod:`repro.runner` assert that worker count, retry
+    scheduling, and process boundaries never change a result.
+
+    Accepts an :class:`~repro.experiments.report.ExperimentResult` or
+    its ``to_dict()`` form (workers ship dicts across the pipe).
+    """
+    if not isinstance(result, dict):
+        result = result.to_dict()
+
+    def fold(value) -> str:
+        if isinstance(value, float):
+            return value.hex()
+        return repr(value)
+
+    h = hashlib.sha256()
+    h.update(f"{result['experiment']};{result['title']}".encode())
+    for column in result["columns"]:
+        h.update(f";col={column}".encode())
+    for row in result["rows"]:
+        h.update((";row=" + ",".join(fold(v) for v in row)).encode())
+    for name in sorted(result.get("metrics", {})):
+        h.update(
+            f";metric={name}={fold(result['metrics'][name])}".encode())
+    for note in result.get("notes", ()):
+        h.update(f";note={note}".encode())
+    return h.hexdigest()
+
+
 def machine_fingerprint(machine: Machine) -> str:
     """SHA-256 over every simulated-time observable of ``machine``.
 

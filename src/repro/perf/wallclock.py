@@ -23,6 +23,18 @@ def now_s() -> float:
     return time.time()
 
 
+def monotonic_s() -> float:
+    """Seconds on the host monotonic clock (deadline arithmetic)."""
+    return time.monotonic()
+
+
+def sleep_s(seconds: float) -> None:
+    """Host-time sleep for operator-facing pacing (poll loops, the
+    runner's test fixtures).  Never call this on a simulated-time path —
+    simulated waiting is a cost-model charge, not a host sleep."""
+    time.sleep(seconds)
+
+
 class Stopwatch:
     """Context manager measuring elapsed host time for progress output.
 

@@ -1,0 +1,34 @@
+"""Parallel experiment orchestrator with machine-readable results.
+
+``python -m repro.runner`` fans the experiment registry
+(:mod:`repro.experiments.registry`) out across worker processes and
+aggregates their results into one structured JSON document:
+
+* **one worker process per experiment** (at most ``--parallel N`` live
+  at once, default ``os.cpu_count()``), scheduled longest-expected-
+  first so a slow harness never serializes the tail;
+* **per-experiment host-time budgets** (from the registry specs) with
+  a terminate + one-retry policy for host flakes — a hang or crash
+  costs one experiment, not the suite;
+* **deterministic aggregation**: workers only *compute*; the parent
+  orders experiments canonically and serializes with sorted keys, so
+  the results document is byte-identical for any worker count.  Host
+  wall times (:mod:`repro.perf.wallclock`) are reported in a separate
+  timings document for exactly that reason;
+* **per-experiment determinism fingerprints**
+  (:func:`repro.perf.fingerprint.result_fingerprint`) so drift between
+  runs, branches, or machines is attributable to one experiment;
+* **a docs stage** (:mod:`repro.runner.report`) that regenerates the
+  measured tables in EXPERIMENTS.md from the results document and
+  fails on drift, keeping the documented numbers machine-checked.
+"""
+
+from repro.runner.pool import Outcome, SuiteRun, run_suite
+from repro.runner.results import (RESULTS_SCHEMA_VERSION,
+                                  build_document, build_timings,
+                                  canonical_json, document_digest)
+
+__all__ = [
+    "Outcome", "RESULTS_SCHEMA_VERSION", "SuiteRun", "build_document",
+    "build_timings", "canonical_json", "document_digest", "run_suite",
+]

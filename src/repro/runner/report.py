@@ -1,0 +1,109 @@
+"""EXPERIMENTS.md regeneration and drift checking.
+
+The measured tables in EXPERIMENTS.md are not hand-edited: each one
+sits between marker comments
+
+.. code-block:: text
+
+    <!-- runner:table:fig7:begin -->
+    | Chunk | Normalized throughput | ... |
+    ...
+    <!-- runner:table:fig7:end -->
+
+and is regenerated from a results document by ``python -m repro.runner
+--report results.json --write-docs``.  ``--check-docs`` renders the
+same tables and fails when the checked-in text differs, so a harness
+change that moves a measured value is a failing check, not silent doc
+rot.  Cell formatting goes through the same
+:func:`repro.experiments.report.format_value` the text renderer uses —
+the docs can only drift on *values*, never on formatting.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.experiments.report import format_value
+
+_MARKER_RE = re.compile(
+    r"<!-- runner:table:(?P<name>[a-z0-9_-]+):begin -->\n"
+    r"(?P<body>.*?)"
+    r"<!-- runner:table:(?P=name):end -->",
+    re.DOTALL)
+
+
+def docs_path() -> Path:
+    """The checked-in EXPERIMENTS.md at the repository root."""
+    return Path(__file__).resolve().parents[3] / "EXPERIMENTS.md"
+
+
+def render_markdown_table(result: dict) -> str:
+    """A GitHub-flavoured markdown table from a serialized
+    ExperimentResult (no title/notes — the prose around the marker
+    owns those)."""
+    lines = ["| " + " | ".join(result["columns"]) + " |",
+             "|" + "|".join("---" for _ in result["columns"]) + "|"]
+    for row in result["rows"]:
+        lines.append(
+            "| " + " | ".join(format_value(v) for v in row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def extract_tables(text: str) -> "dict[str, str]":
+    """Marked table blocks in ``text``: name → body (between markers)."""
+    return {match.group("name"): match.group("body")
+            for match in _MARKER_RE.finditer(text)}
+
+
+def _doc_tables(document: dict) -> "dict[str, str]":
+    """Rendered tables for every successful experiment in a results
+    document."""
+    return {entry["name"]: render_markdown_table(entry["result"])
+            for entry in document["experiments"]
+            if entry["status"] == "ok"}
+
+
+def check_docs(document: dict, text: str) -> "list[str]":
+    """Drift messages (empty = the docs match the measurements).
+
+    Only experiments present in ``document`` are checked, so a subset
+    run checks a subset of tables; the nightly full-registry run covers
+    every marker.
+    """
+    checked_in = extract_tables(text)
+    drift = []
+    for name, rendered in _doc_tables(document).items():
+        if name not in checked_in:
+            drift.append(
+                f"{name}: no `<!-- runner:table:{name}:begin -->` "
+                f"block in EXPERIMENTS.md")
+            continue
+        if checked_in[name] != rendered:
+            drift.append(
+                f"{name}: EXPERIMENTS.md table differs from the "
+                f"measured values\n--- checked in ---\n"
+                f"{checked_in[name]}--- measured ---\n{rendered}")
+    for entry in document["experiments"]:
+        if entry["status"] != "ok":
+            drift.append(f"{entry['name']}: no result to check "
+                         f"(status {entry['status']})")
+    return drift
+
+
+def update_docs(document: dict, text: str) -> "tuple[str, list[str]]":
+    """``text`` with every marked block regenerated; returns the new
+    text and the names whose tables changed."""
+    tables = _doc_tables(document)
+    changed = []
+
+    def replace(match: "re.Match[str]") -> str:
+        name = match.group("name")
+        if name not in tables:
+            return match.group(0)
+        if match.group("body") != tables[name]:
+            changed.append(name)
+        return (f"<!-- runner:table:{name}:begin -->\n"
+                f"{tables[name]}<!-- runner:table:{name}:end -->")
+
+    return _MARKER_RE.sub(replace, text), changed

@@ -1,0 +1,95 @@
+"""The structured results document and its canonical serialization.
+
+Two documents come out of a suite run:
+
+* the **results document** — experiment name, status, the full typed
+  :class:`~repro.experiments.report.ExperimentResult` payload, and a
+  per-experiment determinism fingerprint.  Everything in it derives
+  from the simulated machine, so it is byte-identical across worker
+  counts, runs, and (for the simulated metrics) machines;
+* the **timings document** — host wall time per experiment (measured in
+  the worker via :mod:`repro.perf.wallclock`), attempt counts, worker
+  count, total wall time.  Host time is inherently non-deterministic,
+  which is exactly why it lives in a separate document instead of
+  contaminating the byte-stable one.
+
+``canonical_json`` is the only sanctioned serialization for either:
+sorted keys, two-space indent, a trailing newline.  Diffing two results
+documents with ordinary text tools is a supported workflow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+RESULTS_SCHEMA_VERSION = 1
+
+
+def canonical_json(document: dict) -> str:
+    """Byte-stable serialization (sorted keys, indent=2, trailing NL)."""
+    return json.dumps(document, indent=2, sort_keys=True,
+                      ensure_ascii=False) + "\n"
+
+
+def document_digest(experiments: list) -> str:
+    """SHA-256 over the canonical serialization of the experiments
+    array — one value that two runs can compare instead of N
+    fingerprints."""
+    payload = json.dumps(experiments, sort_keys=True,
+                         ensure_ascii=False).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def build_document(run) -> dict:
+    """The deterministic results document for a
+    :class:`~repro.runner.pool.SuiteRun`."""
+    experiments = []
+    for outcome in run.outcomes.values():
+        entry = {"name": outcome.name, "status": outcome.status}
+        if outcome.result is not None:
+            entry["result"] = outcome.result
+            entry["fingerprint"] = outcome.fingerprint
+        if outcome.error is not None:
+            entry["error"] = outcome.error
+        experiments.append(entry)
+    return {
+        "schema": RESULTS_SCHEMA_VERSION,
+        "suite": "full" if run.full else "quick",
+        "experiments": experiments,
+        "digest": document_digest(experiments),
+    }
+
+
+def build_timings(run) -> dict:
+    """The host-side timings document (non-deterministic on purpose)."""
+    return {
+        "schema": RESULTS_SCHEMA_VERSION,
+        "suite": "full" if run.full else "quick",
+        "jobs": run.jobs,
+        "budgets_enforced": run.budgets_enforced,
+        "total_host_s": run.elapsed_s,
+        "experiments": {
+            name: {
+                "status": outcome.status,
+                "host_s": outcome.host_s,
+                "attempts": outcome.attempts,
+                "budget_s": outcome.budget_s,
+            }
+            for name, outcome in run.outcomes.items()
+        },
+    }
+
+
+def load_results(path: str) -> dict:
+    """Read and structurally validate a results document."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or \
+            document.get("schema") != RESULTS_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: not a schema-v{RESULTS_SCHEMA_VERSION} "
+            f"results document")
+    if not isinstance(document.get("experiments"), list):
+        raise ValueError(f"{path}: missing experiments array")
+    return document

@@ -40,8 +40,11 @@ def test_every_pass_runs_individually():
 
 
 def test_suppressions_are_rare_and_deliberate():
-    # The only sanctioned inline disables today are the two physical-
-    # attacker accesses in repro.os.malicious.  Growing this number
-    # should be a conscious review decision, not drift.
+    # The sanctioned inline disables today: the two physical-attacker
+    # accesses in repro.os.malicious (SIM001) and the runner worker's
+    # crash barrier (SIM004 in repro.runner.pool, which must forward
+    # *any* harness failure across the process boundary as data).
+    # Growing this number should be a conscious review decision, not
+    # drift.
     report = run_repo_analysis()
-    assert report.suppressed <= 2
+    assert report.suppressed <= 3

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.experiments.__main__ import _registry, main
+from repro.experiments import registry as reg
+from repro.experiments.__main__ import VALID_FLAGS, _registry, main
 
 
 class TestRegistry:
@@ -12,8 +13,31 @@ class TestRegistry:
     def test_all_paper_artifacts_present(self):
         names = set(_registry(False))
         for wanted in ("table2", "table3", "table4", "table5", "table6",
-                       "table7", "fig7", "fig9", "fig10", "fig11"):
+                       "table7", "fig7", "fig9", "fig10", "fig11",
+                       "ablation-d1", "ablation-d2", "ablation-d3",
+                       "ablation-d4"):
             assert wanted in names
+
+    def test_selftest_entries_hidden_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNNER_TEST_EXPERIMENTS",
+                           raising=False)
+        assert not [n for n in _registry(False)
+                    if n.startswith("selftest")]
+        monkeypatch.setenv("REPRO_RUNNER_TEST_EXPERIMENTS", "1")
+        assert [n for n in _registry(False)
+                if n.startswith("selftest")]
+
+    def test_specs_carry_budgets_and_hints(self):
+        for spec in reg.specs().values():
+            assert spec.budget_s > 0
+            assert spec.full_budget_s >= spec.budget_s
+            assert spec.cost_hint > 0
+
+    def test_select_prefix_keeps_canonical_order(self):
+        assert reg.select(["table"]) == \
+            [n for n in reg.specs() if n.startswith("table")]
+        assert reg.select([]) == list(reg.specs())
+        assert reg.select(["zzz"]) == []
 
 
 class TestMain:
@@ -30,3 +54,25 @@ class TestMain:
     def test_unknown_name_errors(self, capsys):
         assert main(["figure-99"]) == 1
         assert "no experiment matches" in capsys.readouterr().out
+
+
+class TestUnknownFlags:
+    """A typo like ``--ful`` must error out, not silently run the
+    quick registry."""
+
+    @pytest.mark.parametrize("argv", [["--ful"], ["-full"], ["--fulll"],
+                                      ["table5", "--ful"], ["-x"],
+                                      ["--json"]])
+    def test_unknown_flag_exits_1(self, argv, capsys):
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert "unknown flag" in captured.err
+        assert "--full" in captured.err     # lists the valid flags
+        assert "Table" not in captured.out  # and ran nothing
+
+    def test_valid_flags_documented(self):
+        assert VALID_FLAGS == ("--full",)
+
+    def test_full_flag_still_accepted(self, capsys):
+        assert main(["table5", "--full"]) == 0
+        assert "Table V" in capsys.readouterr().out

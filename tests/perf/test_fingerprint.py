@@ -49,3 +49,43 @@ def test_fingerprint_matches_golden(name):
 
 def test_fingerprints_are_reproducible_within_process():
     assert compute_fingerprints() == compute_fingerprints()
+
+
+class TestResultFingerprint:
+    """Per-experiment result digests used by repro.runner."""
+
+    @staticmethod
+    def _sample():
+        from repro.experiments.report import ExperimentResult
+        result = ExperimentResult("Demo", "fingerprint sample",
+                                  ("k", "v"))
+        result.add("x", 0.1 + 0.2)     # exact-float folding matters
+        result.add("y", 3)
+        result.metric("headline", 0.30000000000000004)
+        result.note("a note")
+        return result
+
+    def test_object_and_dict_forms_agree(self):
+        import json
+
+        from repro.perf.fingerprint import result_fingerprint
+        result = self._sample()
+        direct = result_fingerprint(result)
+        assert direct == result_fingerprint(result.to_dict())
+        # ...and survives a JSON round trip (what the runner ships).
+        reloaded = json.loads(json.dumps(result.to_dict()))
+        assert direct == result_fingerprint(reloaded)
+
+    def test_sensitive_to_any_value(self):
+        from repro.perf.fingerprint import result_fingerprint
+        base = result_fingerprint(self._sample())
+
+        bumped = self._sample()
+        bumped.rows[0] = ("x", 0.1 + 0.2 + 1e-16)
+        row_change = result_fingerprint(bumped)
+
+        renamed = self._sample()
+        renamed.metrics["headline"] = 0.3
+        metric_change = result_fingerprint(renamed)
+
+        assert len({base, row_change, metric_change}) == 3

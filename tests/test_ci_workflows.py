@@ -1,0 +1,135 @@
+"""The GitHub Actions workflows are checked-in executable config;
+parse them and assert the contract the repo depends on.
+
+Tier-1 guarantees: the YAML is schema-valid (loadable, jobs/steps
+shaped correctly), the CI gate runs the same commands ROADMAP.md's
+tier-1 line names, the host-budget escape hatch is set for shared
+runners, and the nightly pipeline runs the parallel runner with the
+docs drift check and uploads the results artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+WORKFLOWS = REPO_ROOT / ".github" / "workflows"
+
+
+def _load(name: str) -> dict:
+    workflow = yaml.safe_load((WORKFLOWS / name).read_text())
+    assert isinstance(workflow, dict), f"{name}: not a mapping"
+    return workflow
+
+
+def _triggers(workflow: dict) -> dict:
+    # YAML 1.1 parses the bare key `on` as boolean True.
+    return workflow.get("on", workflow.get(True))
+
+
+def _runs(workflow: dict) -> "list[str]":
+    return [step["run"]
+            for job in workflow["jobs"].values()
+            for step in job["steps"] if "run" in step]
+
+
+def _assert_schema_valid(name: str, workflow: dict) -> None:
+    assert _triggers(workflow), f"{name}: no `on:` triggers"
+    assert workflow.get("jobs"), f"{name}: no jobs"
+    for job_name, job in workflow["jobs"].items():
+        assert "runs-on" in job, f"{name}:{job_name}: no runs-on"
+        steps = job.get("steps")
+        assert steps, f"{name}:{job_name}: no steps"
+        for index, step in enumerate(steps):
+            assert ("run" in step) != ("uses" in step), (
+                f"{name}:{job_name} step {index}: need exactly one "
+                f"of run/uses")
+
+
+class TestSchemaValidity:
+    @pytest.mark.parametrize("name", ["ci.yml", "nightly.yml"])
+    def test_workflow_parses_and_is_well_formed(self, name):
+        _assert_schema_valid(name, _load(name))
+
+    def test_no_other_workflows_sneak_in_unchecked(self):
+        assert sorted(p.name for p in WORKFLOWS.glob("*.yml")) == \
+            ["ci.yml", "nightly.yml"]
+
+
+class TestTier1Gate:
+    def test_triggers_every_push_and_pr(self):
+        triggers = _triggers(_load("ci.yml"))
+        assert "push" in triggers
+        assert "pull_request" in triggers
+
+    def test_three_separate_jobs(self):
+        assert set(_load("ci.yml")["jobs"]) == \
+            {"tests", "ruff", "analysis"}
+
+    def test_python_matrix_is_39_and_312(self):
+        tests = _load("ci.yml")["jobs"]["tests"]
+        assert tests["strategy"]["matrix"]["python-version"] == \
+            ["3.9", "3.12"]
+
+    def test_runs_the_roadmap_tier1_command(self):
+        # ROADMAP.md: PYTHONPATH=src python -m pytest -x -q
+        tests = _load("ci.yml")["jobs"]["tests"]
+        assert tests["env"]["PYTHONPATH"] == "src"
+        assert any(run.strip() == "python -m pytest -x -q"
+                   for step in tests["steps"]
+                   for run in [step.get("run", "")])
+
+    def test_host_budget_skipped_on_shared_runners(self):
+        tests = _load("ci.yml")["jobs"]["tests"]
+        assert tests["env"]["REPRO_SKIP_HOST_BUDGET"] == "1"
+
+    def test_ruff_job_matches_local_gate(self):
+        # Same target set as tests/test_ruff_clean.py.
+        assert any("ruff check src tests" in run
+                   for run in _runs(_load("ci.yml")))
+
+    def test_analysis_gate_enforces_checked_in_baseline(self):
+        assert any(
+            "python -m repro.analysis --baseline analysis-baseline.json"
+            in run for run in _runs(_load("ci.yml")))
+
+
+class TestNightlyPipeline:
+    def test_scheduled_and_dispatchable(self):
+        triggers = _triggers(_load("nightly.yml"))
+        assert "schedule" in triggers
+        assert any("cron" in entry for entry in triggers["schedule"])
+        assert "workflow_dispatch" in triggers
+
+    def test_runs_the_parallel_runner(self):
+        runs = _runs(_load("nightly.yml"))
+        assert any("python -m repro.runner" in run
+                   and "--json" in run and "--timings" in run
+                   for run in runs)
+
+    def test_checks_docs_drift(self):
+        assert any("--check-docs" in run
+                   for run in _runs(_load("nightly.yml")))
+
+    def test_uploads_results_and_regenerated_tables(self):
+        workflow = _load("nightly.yml")
+        uploads = [step for job in workflow["jobs"].values()
+                   for step in job["steps"]
+                   if "upload-artifact" in step.get("uses", "")]
+        assert uploads, "nightly must publish artifacts"
+        quick_paths = " ".join(
+            step["with"]["path"] for step in uploads)
+        for artifact in ("results.json", "timings.json",
+                         "EXPERIMENTS.md"):
+            assert artifact in quick_paths
+
+    def test_full_scale_is_opt_in(self):
+        full = _load("nightly.yml")["jobs"]["full-suite"]
+        assert "workflow_dispatch" in full.get("if", "")
+        assert any("--full" in run
+                   for step in full["steps"]
+                   for run in [step.get("run", "")])

@@ -18,15 +18,26 @@ Occlum for SFI: validate at build time, don't trust convention):
   bare/broad ``except``, and hard-coded latency constants outside
   :mod:`repro.perf.costmodel`.
 * :mod:`repro.analysis.taint` — a cross-boundary taint check over
-  :mod:`repro.apps.ports` (rule ``TAINT001``): key material (GCM and
-  session keys, ``EGETKEY`` results) must never flow into an ocall
-  argument.
+  every module that forms or forwards the ocall boundary (the ports,
+  miniSSL, :mod:`repro.sdk.runtime`, :mod:`repro.sdk.secure_channel`):
+  key material (GCM and session keys, ``EGETKEY`` results) must never
+  flow into an ocall argument (``TAINT001``) or into an EDL-declared
+  untrusted out-parameter (``TAINT002``).
+* :mod:`repro.analysis.modelcheck` — a bounded model checker
+  (``--check modelcheck``, rules ``MC001``–``MC004``): BFS over every
+  reachable configuration of a small bounded machine driving the *real*
+  ISA transitions and the real access validator, auditing the §VII-A
+  invariants plus executable MLS-lattice properties at every state, and
+  a ``--mutate`` self-validation mode where each named single-edit
+  weakening of the validator must be killed with a minimized
+  counterexample trace.
 
 All passes run from one CLI — ``python -m repro.analysis`` — with
-``--format text|json``, an optional ``--baseline`` file for
-grandfathered findings, and exit code 1 on any new finding.  The tier-1
-gate ``tests/analysis/test_repo_clean.py`` keeps the repo at zero
-findings with an empty baseline.
+``--format text|json``, ``--sarif FILE`` for code-scanning upload, an
+optional ``--baseline`` file for grandfathered findings, and exit
+code 1 on any new finding.  The tier-1 gate
+``tests/analysis/test_repo_clean.py`` keeps the repo at zero findings
+with an empty baseline.
 """
 
 from repro.analysis.findings import Finding, Report

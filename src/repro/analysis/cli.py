@@ -2,14 +2,19 @@
 
 Examples::
 
-    python -m repro.analysis                      # all passes, text
+    python -m repro.analysis                      # default passes, text
     python -m repro.analysis sim taint            # a subset
+    python -m repro.analysis --check modelcheck   # bounded model checker
+    python -m repro.analysis --check modelcheck --scope deep
+    python -m repro.analysis --mutate all         # mutation kill-list
     python -m repro.analysis --format json        # machine-readable
+    python -m repro.analysis --sarif out.sarif    # code-scanning upload
     python -m repro.analysis --baseline base.json # ignore grandfathered
     python -m repro.analysis --write-baseline base.json
 
 Exit status: 0 when no *new* findings (everything is clean or
-grandfathered by the baseline), 1 when new findings exist, 2 on usage
+grandfathered by the baseline) and, under ``--mutate``, every mutation
+was killed; 1 when new findings exist or a mutant survived; 2 on usage
 or environment errors.
 """
 
@@ -17,25 +22,44 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.findings import (AnalysisError, load_baseline,
                                      write_baseline)
-from repro.analysis.runner import PASSES, run_repo_analysis
+from repro.analysis.runner import EXTRA_CHECKS, PASSES, run_repo_analysis
+from repro.analysis.sarif import render_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="EDL interface lint, simulation-integrity lint, and "
-                    "cross-boundary taint check.")
+        description="EDL interface lint, simulation-integrity lint, "
+                    "cross-boundary taint check, and bounded model "
+                    "checking of the access automaton.")
     parser.add_argument("passes", nargs="*", metavar="pass",
                         help=f"subset of passes to run ({', '.join(PASSES)}; "
                              "default: all)")
+    parser.add_argument("--check", action="append", default=[],
+                        metavar="NAME", dest="checks",
+                        help="run a named check instead of the default "
+                             f"passes ({', '.join(PASSES + EXTRA_CHECKS)}; "
+                             "repeatable)")
+    parser.add_argument("--scope", default="default",
+                        choices=("tiny", "default", "deep"),
+                        help="bounded scope for the model checker "
+                             "(default: default)")
+    parser.add_argument("--mutate", default=None, metavar="NAME",
+                        help="model-checker self-validation: apply the "
+                             "named validator mutation ('all' or a "
+                             "comma-separated list) and require the "
+                             "explorer to kill it")
     parser.add_argument("--root", default=None,
                         help="repo root (directory containing src/); "
                              "default: auto-detected")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text", help="report format")
+    parser.add_argument("--sarif", default=None, metavar="FILE",
+                        help="also write the report as SARIF 2.1.0")
     parser.add_argument("--baseline", default=None, metavar="FILE",
                         help="JSON file of grandfathered finding "
                              "fingerprints; only new findings fail the run")
@@ -45,12 +69,47 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_mutate(args) -> int:
+    from repro.analysis.modelcheck import MUTATIONS, run_mutation_kill
+
+    if args.mutate == "all":
+        names = sorted(MUTATIONS)
+    else:
+        names = [n.strip() for n in args.mutate.split(",") if n.strip()]
+        unknown = [n for n in names if n not in MUTATIONS]
+        if unknown:
+            print(f"error: unknown mutation(s) {', '.join(unknown)}; "
+                  f"choose from {', '.join(sorted(MUTATIONS))}",
+                  file=sys.stderr)
+            return 2
+    outcomes = run_mutation_kill(args.scope, names)
+    survivors = 0
+    for outcome in outcomes:
+        if outcome.killed:
+            trace = outcome.findings[0].message if outcome.findings else ""
+            print(f"KILLED   {outcome.mutation} "
+                  f"[{outcome.expected_rule}]: {trace}")
+        else:
+            survivors += 1
+            print(f"SURVIVED {outcome.mutation} "
+                  f"[expected {outcome.expected_rule}, "
+                  f"got {', '.join(outcome.rules) or 'no findings'}]")
+    print(f"{len(outcomes) - survivors}/{len(outcomes)} mutation(s) "
+          f"killed in scope '{args.scope}'")
+    return 1 if survivors else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    passes = tuple(args.passes) or PASSES
+    if args.mutate is not None:
+        return _run_mutate(args)
+    passes = tuple(args.passes) + tuple(args.checks)
+    if not passes:
+        passes = PASSES
     try:
         baseline = load_baseline(args.baseline)
-        report = run_repo_analysis(args.root, passes)
+        report = run_repo_analysis(args.root, passes,
+                                   modelcheck_scope=args.scope)
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -59,6 +118,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {len(report.findings)} fingerprint(s) to "
               f"{args.write_baseline}")
         return 0
+    if args.sarif:
+        Path(args.sarif).write_text(render_sarif(report, baseline) + "\n")
     if args.format == "json":
         print(report.render_json(baseline))
     else:

@@ -116,9 +116,17 @@ class _PortModule:
     called: set[str] = field(default_factory=set)            # *call("name")
 
 
-def _scan_port_module(file: Path, rel_path: str) -> _PortModule:
-    tree = ast.parse(file.read_text(), filename=str(file))
-    info = _PortModule(path=rel_path)
+def scan_edl_constants(tree: ast.Module, path: str):
+    """Discover embedded ``*_EDL`` string constants in a parsed module.
+
+    Returns ``(specs, parse_errors)`` where each spec entry is
+    ``(const_name, EdlSpec, line_offset)`` — the offset maps EDL-internal
+    line 1 to the line after the literal's opening quotes (the house
+    style starts the string with a newline).  Shared with the taint pass,
+    which derives its ocall sink tables from the same constants.
+    """
+    specs: list[tuple[str, EdlSpec, int]] = []
+    parse_errors: list[Finding] = []
     for node in ast.walk(tree):
         if isinstance(node, ast.Assign) and len(node.targets) == 1 \
                 and isinstance(node.targets[0], ast.Name) \
@@ -129,15 +137,21 @@ def _scan_port_module(file: Path, rel_path: str) -> _PortModule:
             try:
                 spec = parse_edl(node.value.value, name=const_name)
             except EdlSyntaxError as exc:
-                info.parse_errors.append(Finding(
-                    path=rel_path, line=node.lineno, rule="EDL000",
+                parse_errors.append(Finding(
+                    path=path, line=node.lineno, rule="EDL000",
                     message=f"{const_name} does not parse: {exc}",
                     symbol=const_name))
                 continue
-            # EDL line 1 sits on the line after the opening quotes when
-            # the literal starts with a newline (the house style).
-            info.specs.append((const_name, spec, node.value.lineno - 1))
-        elif isinstance(node, ast.Call) \
+            specs.append((const_name, spec, node.value.lineno - 1))
+    return specs, parse_errors
+
+
+def _scan_port_module(file: Path, rel_path: str) -> _PortModule:
+    tree = ast.parse(file.read_text(), filename=str(file))
+    info = _PortModule(path=rel_path)
+    info.specs, info.parse_errors = scan_edl_constants(tree, rel_path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) \
                 and isinstance(node.func, ast.Attribute):
             attr = node.func.attr
             first = node.args[0] if node.args else None

@@ -60,6 +60,13 @@ class Report:
         self.suppressed += other.suppressed
         self.passes.extend(p for p in other.passes if p not in self.passes)
 
+    def dedupe(self) -> None:
+        """Collapse identical findings from overlapping passes and fix a
+        fully deterministic order (the Finding dataclass sort key:
+        path, line, rule, message, symbol) — never dict/insertion order,
+        so baselines and CI logs are stable across runs."""
+        self.findings[:] = sorted(set(self.findings))
+
     def new_findings(self, baseline: frozenset[str]) -> list[Finding]:
         return sorted(f for f in self.findings
                       if f.fingerprint not in baseline)

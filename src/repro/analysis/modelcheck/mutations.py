@@ -1,0 +1,94 @@
+"""Named single-edit validator weakenings (the mutation kill-list).
+
+Each mutation is a subclass of the real :class:`NestedValidator`
+overriding exactly one check; ``--mutate`` builds a world with the mutant
+installed and requires the explorer to kill it with a minimized
+counterexample of the expected rule.  A surviving mutant means the
+checker lost discrimination — the self-validation the paper-style
+security argument needs before trusting "zero findings".
+
+``MC001`` (the bare-state invariant audit) is deliberately not mapped to
+a mutation: it fires on corrupted *reachable* state rather than on a
+weakened check, and every transition here goes through the real ISA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import NestedValidator
+from repro.sgx.access import ABORT, BaselineValidator, Decision, INSERT
+
+
+class DropVaMatch(NestedValidator):
+    """Fig. 6 step 5: skip the EPCM VA comparison in the EID-mismatch
+    fallback, so a lying page table can alias outer pages at wrong VAs."""
+
+    def _va_matches(self, entry, vaddr: int) -> bool:
+        return True
+
+
+class SkipOutsideElrangePf(NestedValidator):
+    """Fig. 6 steps 1-2: fall back to the baseline outside-ELRANGE
+    behaviour (plain unsecure insert), losing the outer-ELRANGE #PF."""
+
+    def on_outside_elrange(self, core, secs, vaddr, pte) -> Decision:
+        return BaselineValidator.on_outside_elrange(
+            self, core, secs, vaddr, pte)
+
+
+class UnboundedOuterWalk(NestedValidator):
+    """Drop both the seen-set and the depth bound from the outer-chain
+    walk: terminates on every well-formed graph, hangs on a cycle."""
+
+    def outer_chain(self, secs):
+        chain = []
+        frontier = list(secs.outer_eids)
+        while frontier:
+            next_frontier = []
+            for eid in frontier:
+                outer = self.machine.enclaves.get(eid)
+                if outer is None:
+                    continue
+                chain.append(outer)
+                next_frontier.extend(outer.outer_eids)
+            frontier = next_frontier
+        return chain
+
+
+class AcceptUnrelatedOwner(NestedValidator):
+    """Turn the unrelated-owner abort into an insert (a validator that
+    forgot the automaton's default-deny arm)."""
+
+    def on_eid_mismatch(self, core, secs, vaddr, paddr_page,
+                        entry) -> Decision:
+        decision = NestedValidator.on_eid_mismatch(
+            self, core, secs, vaddr, paddr_page, entry)
+        if decision.action == ABORT and "unrelated" in decision.reason:
+            return Decision(INSERT, perms=entry.perms,
+                            reason="mutant: accept unrelated owner")
+        return decision
+
+
+@dataclass(frozen=True)
+class Mutation:
+    name: str
+    validator_cls: type
+    expected_rule: str
+    description: str
+
+
+MUTATIONS = {
+    "drop-va-match": Mutation(
+        "drop-va-match", DropVaMatch, "MC002",
+        "drop the VA-match check in the EID-mismatch fallback"),
+    "skip-outside-elrange-pf": Mutation(
+        "skip-outside-elrange-pf", SkipOutsideElrangePf, "MC003",
+        "skip the outside-ELRANGE page-fault step"),
+    "unbounded-outer-walk": Mutation(
+        "unbounded-outer-walk", UnboundedOuterWalk, "MC004",
+        "unbounded outer-chain walk (no seen-set, no depth cap)"),
+    "accept-unrelated-owner": Mutation(
+        "accept-unrelated-owner", AcceptUnrelatedOwner, "MC002",
+        "accept EPC pages owned by unrelated enclaves"),
+}

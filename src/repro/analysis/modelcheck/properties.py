@@ -1,0 +1,246 @@
+"""Executable MLS-lattice properties, checked at every reachable state.
+
+Each probe attempts one adversarial access through the *real* translate +
+validate path and classifies the outcome as ``insert`` / ``abort`` /
+``pf``.  The probes are state-preserving: TLB contents are emptied before
+the attempt (so a previously validated entry cannot short-circuit the
+validator) and restored after, and any page-table lie is undone.
+
+Rules:
+
+* ``MC001`` — ``repro.core.invariants.audit_machine`` violation (bare
+  state audit; not tied to a specific probe).
+* ``MC002`` — an access the lattice forbids was inserted: untrusted ->
+  EPC, peer -> peer, outer -> inner, or an aliased VA that mismatches
+  the EPCM entry.
+* ``MC003`` — an (evicted or OS-shadowed) outer-ELRANGE address fell
+  through to unsecure memory instead of page-faulting.
+* ``MC004`` — the outer-chain walk failed to terminate within budget on
+  a corrupted (cyclic) SECS graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.invariants import audit_machine
+from repro.errors import AccessViolation, PageFault
+from repro.sgx.constants import PAGE_SHIFT
+
+from repro.analysis.modelcheck.world import World, outer_closure
+
+#: Enclave-graph lookups the validator may make per translation before
+#: the walk is declared non-terminating.  Far above any legitimate walk
+#: (the bounded-depth chain visits each SECS once).
+WALK_BUDGET = 256
+
+
+class WalkBudgetExceeded(Exception):
+    """Deliberately *not* an SgxFault: must escape the access-fault
+    handling in :func:`_attempt_read` so the probe can observe it."""
+
+
+class _GuardedEnclaves:
+    """Wraps ``machine.enclaves`` counting lookups during one probe."""
+
+    def __init__(self, real: dict, budget: int) -> None:
+        self._real = real
+        self._budget = budget
+        self.lookups = 0
+
+    def get(self, eid, default=None):
+        self.lookups += 1
+        if self.lookups > self._budget:
+            raise WalkBudgetExceeded(
+                f"outer-chain walk exceeded {self._budget} SECS lookups")
+        return self._real.get(eid, default)
+
+
+@dataclass(frozen=True)
+class Violation:
+    rule: str
+    probe: tuple
+    detail: str
+
+
+def _attempt_read(core, vaddr: int) -> str:
+    """Classify one 8-byte read: 'insert' | 'abort' | 'pf'.
+
+    The TLB is emptied first so the validator *must* run, and restored
+    afterwards (including any entry the attempt inserted, which is
+    discarded with it).
+    """
+    saved = core.tlb.capture()
+    core.tlb.restore(())
+    try:
+        core.read(vaddr, 8)
+        return "insert"
+    except AccessViolation:
+        return "abort"
+    except PageFault:
+        return "pf"
+    finally:
+        core.tlb.restore(saved)
+
+
+def _resident_frame(world: World, e: int, p: int):
+    handle = world.handles[e]
+    return world.driver.loaded[handle.eid].resident.get(
+        world.data_vaddrs[e][p])
+
+
+def enumerate_probes(world: World) -> list:
+    """Probe descriptors applicable in the current state."""
+    probes = []
+    n_pages = world.scope.data_pages
+    for c, core in enumerate(world.machine.cores):
+        if not core.in_enclave_mode:
+            for e in range(len(world.handles)):
+                for p in range(n_pages):
+                    if _resident_frame(world, e, p) is not None:
+                        probes.append(("untrusted-epc", c, e, p))
+            continue
+        cur = core.current_eid
+        closure = outer_closure(world, cur)
+        for e, handle in enumerate(world.handles):
+            related = handle.eid == cur or handle.eid in closure
+            for p in range(n_pages):
+                resident = _resident_frame(world, e, p) is not None
+                if not related and resident:
+                    probes.append(("cross-enclave", c, e, p))
+                if handle.eid == cur and resident:
+                    probes.append(("alias-own", c, e, p))
+                if handle.eid in closure:
+                    if resident:
+                        probes.append(("alias-outer", c, e, p))
+                    probes.append(("shadow-outer", c, e, p))
+        if closure:
+            probes.append(("walk-budget", c))
+    return probes
+
+
+def run_probe(world: World, probe: tuple):
+    """Run one probe; returns a :class:`Violation` or None.
+
+    Re-checks its own preconditions (returning None when inapplicable) so
+    the trace minimizer can replay probes against shortened traces.
+    """
+    kind, c = probe[0], probe[1]
+    core = world.machine.cores[c]
+
+    if kind == "untrusted-epc":
+        _, _, e, p = probe
+        if core.in_enclave_mode or _resident_frame(world, e, p) is None:
+            return None
+        if _attempt_read(core, world.data_vaddrs[e][p]) == "insert":
+            return Violation("MC002", probe,
+                             f"untrusted read of E{e}.data{p} was inserted "
+                             "(expected abort)")
+        return None
+
+    if not core.in_enclave_mode:
+        return None
+    cur = core.current_eid
+    closure = outer_closure(world, cur)
+
+    if kind == "cross-enclave":
+        _, _, e, p = probe
+        handle = world.handles[e]
+        if (handle.eid == cur or handle.eid in closure
+                or _resident_frame(world, e, p) is None):
+            return None
+        if _attempt_read(core, world.data_vaddrs[e][p]) == "insert":
+            return Violation("MC002", probe,
+                             f"read of unrelated/inner E{e}.data{p} was "
+                             "inserted (expected abort)")
+        return None
+
+    if kind in ("alias-own", "alias-outer"):
+        _, _, e, p = probe
+        handle = world.handles[e]
+        if kind == "alias-own" and handle.eid != cur:
+            return None
+        if kind == "alias-outer" and handle.eid not in closure:
+            return None
+        frame = _resident_frame(world, e, p)
+        if frame is None:
+            return None
+        # Lying OS: re-point the enclave's stack-page VA at the data
+        # page's frame — the EPCM VA check must abort the alias.
+        pte = world.space.walk(world.stack_vaddrs[e])
+        if pte is None:
+            return None
+        saved = (pte.pfn, pte.perms, pte.present)
+        pte.pfn = frame >> PAGE_SHIFT
+        pte.present = True
+        try:
+            outcome = _attempt_read(core, world.stack_vaddrs[e])
+        finally:
+            pte.pfn, pte.perms, pte.present = saved
+        if outcome == "insert":
+            return Violation("MC002", probe,
+                             f"aliased VA onto E{e}.data{p} was inserted "
+                             "(expected abort: EPCM VA mismatch)")
+        return None
+
+    if kind == "shadow-outer":
+        _, _, e, p = probe
+        handle = world.handles[e]
+        if handle.eid not in closure:
+            return None
+        # Lying OS: back an outer-ELRANGE address with an ordinary frame
+        # (models the page being evicted and the OS substituting its
+        # own memory).  Must #PF, never fall through to unsecure memory.
+        pte = world.space.walk(world.data_vaddrs[e][p])
+        if pte is None:
+            return None
+        saved = (pte.pfn, pte.perms, pte.present)
+        pte.pfn = world.shadow_frame >> PAGE_SHIFT
+        pte.present = True
+        try:
+            outcome = _attempt_read(core, world.data_vaddrs[e][p])
+        finally:
+            pte.pfn, pte.perms, pte.present = saved
+        if outcome == "insert":
+            return Violation("MC003", probe,
+                             f"shadowed outer address E{e}.data{p} fell "
+                             "through to unsecure memory (expected #PF)")
+        return None
+
+    if kind == "walk-budget":
+        if not closure:
+            return None
+        # Corrupt the SECS graph with a cycle back to the current
+        # enclave, shadow an outer page so validation walks the chain,
+        # and require the walk to terminate within WALK_BUDGET lookups.
+        target = world.eid_index[closure[0]]
+        member = world.handles[target].secs
+        pte = world.space.walk(world.data_vaddrs[target][0])
+        if pte is None or cur in member.outer_eids:
+            return None
+        saved = (pte.pfn, pte.perms, pte.present)
+        pte.pfn = world.shadow_frame >> PAGE_SHIFT
+        pte.present = True
+        member.outer_eids.append(cur)
+        machine = world.machine
+        real_enclaves = machine.enclaves
+        machine.enclaves = _GuardedEnclaves(real_enclaves, WALK_BUDGET)
+        try:
+            _attempt_read(core, world.data_vaddrs[target][0])
+        except WalkBudgetExceeded:
+            return Violation("MC004", probe,
+                             "outer-chain walk did not terminate on a "
+                             f"cyclic SECS graph (> {WALK_BUDGET} lookups)")
+        finally:
+            machine.enclaves = real_enclaves
+            member.outer_eids.pop()
+            pte.pfn, pte.perms, pte.present = saved
+        return None
+
+    raise ValueError(f"unknown probe kind {kind!r}")
+
+
+def audit_violations(world: World) -> list:
+    """MC001: the §VII-A invariant audit over the bare state."""
+    return [Violation("MC001", ("audit",), text)
+            for text in audit_machine(world.machine)]

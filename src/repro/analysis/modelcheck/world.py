@@ -1,0 +1,180 @@
+"""Bounded worlds for the model checker.
+
+A *world* is a real simulated machine — :class:`repro.sgx.machine.Machine`
+with the real :class:`repro.core.NestedValidator`, a real kernel/driver and
+real SDK-built enclaves — shrunk to a scope small enough that every
+reachable configuration can be enumerated.  Nothing here reimplements
+semantics: the explorer drives the same EENTER/NEENTER/NASSO/EWB paths the
+tests and experiments use.
+
+The scopes cover the shapes the paper's access automaton (Fig. 6) has to
+get right: flat (no association), the evaluated 2-level model, the §VIII
+3-level chain, and the §VIII lattice (one inner with two outers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import NestedValidator
+from repro.os import Kernel
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sgx import Machine
+from repro.sgx.constants import MachineConfig, PAGE_SHIFT, PAGE_SIZE
+from repro.sgx.measure import mrsigner_of
+from repro.sgx.sigstruct import ANY_MRENCLAVE
+
+#: Minimal single-entry interface; the explorer drives transitions
+#: directly through the ISA, so the entry body is never hot.
+POKE_EDL = """\
+enclave {
+    trusted {
+        public int poke(int value);
+    };
+};
+"""
+
+
+def _poke(ctx, value):
+    return value
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Bounds of one explorable world."""
+
+    name: str
+    num_cores: int
+    num_enclaves: int
+    #: Heap data pages per enclave (the pages the explorer touches/evicts).
+    data_pages: int
+    unsecure_pages: int
+    #: (inner_index, outer_index) NASSO edges the explorer may take.
+    edges: tuple
+    allow_lattice: bool = False
+
+
+SCOPES = {
+    # Golden/mutation tests: smallest world with an association edge.
+    "tiny": Scope("tiny", num_cores=1, num_enclaves=2, data_pages=1,
+                  unsecure_pages=1, edges=((1, 0),)),
+    # CI default: two cores exercise shootdown + cross-core interleavings.
+    "default": Scope("default", num_cores=2, num_enclaves=2, data_pages=1,
+                     unsecure_pages=2, edges=((1, 0),)),
+    # Nightly: 3 enclaves; reachable association subsets cover flat,
+    # 2-level, the 3-level chain and the lattice (E2 under both E0 and E1).
+    "deep": Scope("deep", num_cores=1, num_enclaves=3, data_pages=1,
+                  unsecure_pages=2, edges=((1, 0), (2, 1), (2, 0)),
+                  allow_lattice=True),
+}
+
+
+@dataclass
+class World:
+    scope: Scope
+    machine: Machine
+    kernel: Kernel
+    host: EnclaveHost
+    handles: list
+    eids: tuple
+    eid_index: dict
+    #: data_vaddrs[e][p] — virtual address of enclave e's p-th data page.
+    data_vaddrs: tuple
+    #: One RW stack page per enclave, directly below the heap: a
+    #: convenient in-ELRANGE virtual address the probes can re-point.
+    stack_vaddrs: tuple
+    unsecure_vaddrs: tuple
+    #: pfn -> stable logical index for every non-EPC frame (shadow = -1),
+    #: so canonical state keys are invariant under physical frame renaming.
+    unsecure_frame_index: dict
+    #: An allocated but unmapped ordinary frame for lying-OS probes.
+    shadow_frame: int
+
+    @property
+    def driver(self):
+        return self.kernel.driver
+
+    @property
+    def space(self):
+        return self.host.proc.space
+
+
+def build_world(scope: Scope,
+                validator_cls: type = NestedValidator) -> World:
+    """Construct a quiescent world for ``scope``.
+
+    Budget check (24-frame EPC): each enclave needs SECS + code +
+    ``num_cores`` TCS + stack + ``data_pages`` heap frames; plus one
+    shared version-array frame.  deep = 3*(1+1+1+1+1)+1 = 16.
+    """
+    cfg = MachineConfig(
+        num_cores=scope.num_cores, dram_bytes=64 << 20, prm_base=16 << 20,
+        prm_bytes=2 << 20, epc_bytes=24 * PAGE_SIZE, llc_bytes=256 << 10,
+        tlb_entries=64, mee_encrypt_bytes=False)
+    machine = Machine(cfg, validator_cls=validator_cls)
+    kernel = Kernel(machine)
+    host = EnclaveHost(machine, kernel)
+
+    key = developer_key("modelcheck")
+    signer = mrsigner_of(key.public_key.to_bytes())
+    edl = parse_edl(POKE_EDL, name="poke")
+    handles = []
+    for i in range(scope.num_enclaves):
+        builder = (EnclaveBuilder(
+            f"mc{i}", edl, signing_key=key,
+            heap_bytes=scope.data_pages * PAGE_SIZE,
+            stack_bytes=PAGE_SIZE, num_tcs=scope.num_cores)
+            .add_entry("poke", _poke)
+            # Same signer for every enclave; the wildcard accepts any
+            # peer from it, so every scope edge passes NASSO attestation.
+            .expect_peer(ANY_MRENCLAVE, signer))
+        handles.append(host.load(builder.build()))
+
+    driver = kernel.driver
+    driver._version_array()  # pre-allocate: EWB never mints frames later
+    base = kernel.mmap(host.proc, scope.unsecure_pages * PAGE_SIZE)
+    unsecure_vaddrs = tuple(base + i * PAGE_SIZE
+                            for i in range(scope.unsecure_pages))
+    shadow_frame = kernel.alloc_phys_page()
+    for core in machine.cores:
+        core.address_space = host.proc.space
+    machine.flush_all_tlbs()
+
+    eids = tuple(h.eid for h in handles)
+    data_vaddrs = tuple(
+        tuple(h.addr(h.image.heap_offset) + p * PAGE_SIZE
+              for p in range(scope.data_pages)) for h in handles)
+    stack_vaddrs = tuple(h.addr(h.image.heap_offset) - PAGE_SIZE
+                         for h in handles)
+    unsecure_frame_index: dict = {}
+    for _vpn, pfn, _perms, _present in host.proc.space.capture():
+        paddr = pfn << PAGE_SHIFT
+        if not (cfg.epc_base <= paddr < cfg.epc_base + cfg.epc_bytes):
+            unsecure_frame_index.setdefault(pfn, len(unsecure_frame_index))
+    unsecure_frame_index[shadow_frame >> PAGE_SHIFT] = -1
+
+    return World(scope=scope, machine=machine, kernel=kernel, host=host,
+                 handles=handles, eids=eids,
+                 eid_index={eid: i for i, eid in enumerate(eids)},
+                 data_vaddrs=data_vaddrs, stack_vaddrs=stack_vaddrs,
+                 unsecure_vaddrs=unsecure_vaddrs,
+                 unsecure_frame_index=unsecure_frame_index,
+                 shadow_frame=shadow_frame)
+
+
+def outer_closure(world: World, eid: int) -> list:
+    """Transitive outer EIDs of ``eid``, BFS order, deduplicated.
+
+    Computed from the SECS graph directly — *not* via the validator's
+    ``outer_chain`` — so probe selection never runs code a mutation may
+    have weakened.
+    """
+    seen: list = []
+    frontier = list(world.handles[world.eid_index[eid]].secs.outer_eids)
+    while frontier:
+        e = frontier.pop(0)
+        if e in seen or e not in world.eid_index:
+            continue
+        seen.append(e)
+        frontier.extend(world.handles[world.eid_index[e]].secs.outer_eids)
+    return seen

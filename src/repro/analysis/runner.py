@@ -11,8 +11,12 @@ from pathlib import Path
 from repro.analysis import edl_lint, simlint, taint
 from repro.analysis.findings import AnalysisError, Report
 
-#: CLI pass names → runner.
+#: CLI pass names → runner (the default set; heavier opt-in checks such
+#: as ``modelcheck`` are selected explicitly via ``--check``).
 PASSES = ("edl", "sim", "taint")
+
+#: Opt-in checks accepted alongside PASSES.
+EXTRA_CHECKS = ("modelcheck",)
 
 
 def repo_root() -> Path:
@@ -21,7 +25,8 @@ def repo_root() -> Path:
 
 
 def run_repo_analysis(root: Path | None = None,
-                      passes: tuple[str, ...] = PASSES) -> Report:
+                      passes: tuple[str, ...] = PASSES,
+                      modelcheck_scope: str = "default") -> Report:
     """Run the selected passes over the repo rooted at ``root``."""
     root = Path(root) if root is not None else repo_root()
     src = root / "src"
@@ -36,9 +41,25 @@ def run_repo_analysis(root: Path | None = None,
         elif name == "sim":
             report.extend(simlint.lint_tree(package, src))
         elif name == "taint":
-            report.extend(taint.analyze_ports(ports, src))
+            report.extend(taint.analyze_tree(package, src))
+        elif name == "modelcheck":
+            report.extend(_run_modelcheck_pass(modelcheck_scope))
         else:
             raise AnalysisError(
-                f"unknown pass {name!r}; choose from {', '.join(PASSES)}")
-    report.findings.sort()
+                f"unknown pass {name!r}; choose from "
+                f"{', '.join(PASSES + EXTRA_CHECKS)}")
+    report.dedupe()
     return report
+
+
+def _run_modelcheck_pass(scope: str) -> Report:
+    # Imported lazily: the checker pulls in the whole machine model,
+    # which the default lint-only passes must not pay for.
+    from repro.analysis import modelcheck
+
+    if scope not in modelcheck.SCOPES:
+        raise AnalysisError(
+            f"unknown scope {scope!r}; choose from "
+            f"{', '.join(sorted(modelcheck.SCOPES))}")
+    result = modelcheck.run_modelcheck(scope)
+    return Report(findings=list(result.findings), passes=["modelcheck"])

@@ -1,10 +1,20 @@
-"""Cross-boundary taint check over :mod:`repro.apps.ports` (TAINT001).
+"""Cross-boundary taint check (TAINT001/TAINT002).
 
 The nested layouts exist to keep key material inside the inner enclave;
 an ``ocall`` argument, by construction, leaves enclave mode entirely.
 This pass proves the two never meet: it seeds taint at key-material
 sources, propagates it intraprocedurally plus through the module-local
-call graph, and reports any flow into an ``ocall`` argument.
+call graph, and reports any flow into an ``ocall`` argument.  It sweeps
+:mod:`repro.apps.ports`, :mod:`repro.apps.minissl`,
+:mod:`repro.sdk.runtime` and :mod:`repro.sdk.secure_channel` — every
+module that forms or forwards the ocall boundary.
+
+When the module embeds ``*_EDL`` constants, the ocall interface names
+are resolved against the parsed EDL (shared scanner with
+:mod:`repro.analysis.edl_lint`): a tainted value passed for a declared
+``untrusted`` out-parameter is reported as ``TAINT002`` naming that
+parameter; an ocall whose name no spec declares falls back to the
+generic ``TAINT001``.
 
 Sources
     * ``ctx.get_key(…)`` / ``egetkey(…)`` results (EGETKEY);
@@ -39,10 +49,11 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.edl_lint import scan_edl_constants
 from repro.analysis.findings import Finding, Report
-from repro.analysis.pysource import Module, iter_modules
+from repro.analysis.pysource import Module, iter_modules, load_module
 
-RULES = ("TAINT001",)
+RULES = ("TAINT001", "TAINT002")
 
 _SECRET_NAME_RE = re.compile(
     r"(^|_)(key|keys|psk|secret\w*|priv\w*)($|_)", re.IGNORECASE)
@@ -60,7 +71,8 @@ class _Summary:
 
     param_to_return: set[int] = field(default_factory=set)
     return_labels: Labels = frozenset()      # tainted regardless of args
-    param_to_sink: dict[int, int] = field(default_factory=dict)  # idx→line
+    #: param index → (sink line, rule) of the innermost sink it reaches.
+    param_to_sink: dict[int, tuple[int, str]] = field(default_factory=dict)
 
 
 def _is_secret_name(name: str) -> bool:
@@ -72,10 +84,13 @@ class _FunctionAnalysis(ast.NodeVisitor):
     module to resolve local helper calls."""
 
     def __init__(self, func: ast.FunctionDef, module: Module,
-                 summaries: dict[str, _Summary]) -> None:
+                 summaries: dict[str, _Summary],
+                 edl_sinks: dict | None = None) -> None:
         self.func = func
         self.module = module
         self.summaries = summaries
+        #: interface name → EdlFunction for EDL-declared untrusted calls.
+        self.edl_sinks = edl_sinks or {}
         self.env: dict[str, Labels] = {}
         self.param_names = [a.arg for a in func.args.args]
         self.param_labels: dict[str, Labels] = {}
@@ -140,11 +155,12 @@ class _FunctionAnalysis(ast.NodeVisitor):
             for index, arg in enumerate(node.args):
                 if index in summary.param_to_return:
                     labels |= self.taint_of(arg)
-                sink_line = summary.param_to_sink.get(index)
-                if sink_line is not None:
+                sink = summary.param_to_sink.get(index)
+                if sink is not None:
+                    sink_line, sink_rule = sink
                     arg_labels = self.taint_of(arg)
                     if arg_labels:
-                        self._report(node, arg_labels,
+                        self._report(node, arg_labels, rule=sink_rule,
                                      via=f"{name}() → ocall at line "
                                          f"{sink_line}")
             return frozenset(labels)
@@ -225,34 +241,59 @@ class _FunctionAnalysis(ast.NodeVisitor):
 
     def _check_sink(self, node: ast.Call) -> None:
         # First positional argument is the interface name, not data.
+        first = node.args[0] if node.args else None
+        edl_func = None
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            edl_func = self.edl_sinks.get(first.value)
         payload = node.args[1:] + [k.value for k in node.keywords]
+        param_names = [pname for _ptype, pname in edl_func.params] \
+            if edl_func is not None else []
+        out_params = [k.arg for k in node.keywords]
         label_to_param = {label: index
                           for index, pname in enumerate(self.param_names)
                           for label in self.param_labels[pname]}
-        for arg in payload:
+        for pos, arg in enumerate(payload):
             labels = self.taint_of(arg)
             if not labels:
                 continue
+            if pos < len(node.args) - 1 and pos < len(param_names):
+                out_param = param_names[pos]
+            elif pos >= len(node.args) - 1 and edl_func is not None \
+                    and out_params[pos - (len(node.args) - 1)] \
+                    in param_names:
+                out_param = out_params[pos - (len(node.args) - 1)]
+            else:
+                out_param = None
+            rule = "TAINT002" if out_param is not None else "TAINT001"
             secret = {label for label in labels
                       if not label.startswith("param:")}
             if secret:
-                self._report(node, frozenset(secret))
+                self._report(node, frozenset(secret), rule=rule,
+                             out_param=out_param)
             for label in labels:
                 index = label_to_param.get(label)
                 if index is not None:
-                    self.summary.param_to_sink.setdefault(index,
-                                                          node.lineno)
+                    self.summary.param_to_sink.setdefault(
+                        index, (node.lineno, rule))
 
-    def _report(self, node: ast.Call, labels: Labels,
-                via: str = "") -> None:
+    def _report(self, node: ast.Call, labels: Labels, *,
+                rule: str = "TAINT001", via: str = "",
+                out_param: str | None = None) -> None:
         origin = ", ".join(sorted(labels))
-        message = (f"key material ({origin}) flows into an ocall "
-                   "argument and leaves enclave mode")
+        if rule == "TAINT002":
+            where = (f"the EDL-declared untrusted out-parameter "
+                     f"{out_param!r}" if out_param
+                     else "an EDL-declared untrusted out-parameter")
+            message = (f"key material ({origin}) flows into {where} "
+                       "and leaves enclave mode")
+        else:
+            message = (f"key material ({origin}) flows into an ocall "
+                       "argument and leaves enclave mode")
         if via:
             message += f" via {via}"
-        if not self.module.suppressed(node.lineno, "TAINT001"):
+        if not self.module.suppressed(node.lineno, rule):
             self.findings.append(Finding(
-                path=self.module.path, line=node.lineno, rule="TAINT001",
+                path=self.module.path, line=node.lineno, rule=rule,
                 message=message, symbol=self.func.name))
 
     def run(self) -> None:
@@ -276,10 +317,29 @@ def _module_functions(tree: ast.Module):
     return out
 
 
+def _edl_sink_table(module: Module) -> dict:
+    """Interface name → EdlFunction for every ``untrusted`` declaration
+    in the module's embedded ``*_EDL`` constants.
+
+    Only the plain ``untrusted`` section feeds the table: ``ocall`` is
+    the host boundary, while ``nested_untrusted`` names land in the
+    outer enclave via ``n_ocall`` (not a sink, see the module
+    docstring).  Parse errors are the EDL linter's EDL000 business, not
+    ours, so they are dropped here.
+    """
+    specs, _parse_errors = scan_edl_constants(module.tree, module.path)
+    table: dict = {}
+    for _const_name, spec, _offset in specs:
+        for func in spec.section("untrusted").values():
+            table.setdefault(func.name, func)
+    return table
+
+
 def analyze_module(module: Module) -> list[Finding]:
     functions = _module_functions(module.tree)
     summaries: dict[str, _Summary] = {name: _Summary()
                                       for name in functions}
+    edl_sinks = _edl_sink_table(module)
     findings: list[Finding] = []
     # Fixpoint over summaries: helper chains need sink/flow facts of
     # callees, which may be defined later in the file.
@@ -288,7 +348,8 @@ def analyze_module(module: Module) -> list[Finding]:
         round_findings: list[Finding] = []
         changed = False
         for name, func in functions.items():
-            analysis = _FunctionAnalysis(func, module, summaries)
+            analysis = _FunctionAnalysis(func, module, summaries,
+                                         edl_sinks=edl_sinks)
             analysis.run()
             before = summaries[name]
             after = analysis.summary
@@ -307,6 +368,26 @@ def analyze_module(module: Module) -> list[Finding]:
 def analyze_ports(ports_dir: Path, root: Path) -> Report:
     report = Report(passes=["taint"])
     for module in iter_modules(ports_dir, root):
+        report.findings.extend(analyze_module(module))
+    report.findings.sort()
+    return report
+
+
+def analyze_tree(package_dir: Path, root: Path) -> Report:
+    """Sweep every module that forms or forwards the ocall boundary:
+    the ports, the miniSSL app, and the SDK's runtime / secure-channel
+    layers."""
+    report = Report(passes=["taint"])
+    targets: list[Module] = []
+    for sub in ("apps/ports", "apps/minissl"):
+        directory = package_dir / sub
+        if directory.is_dir():
+            targets.extend(iter_modules(directory, root))
+    for rel in ("sdk/runtime.py", "sdk/secure_channel.py"):
+        file = package_dir / rel
+        if file.is_file():
+            targets.append(load_module(file, root))
+    for module in sorted(targets, key=lambda m: m.path):
         report.findings.extend(analyze_module(module))
     report.findings.sort()
     return report

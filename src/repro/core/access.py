@@ -82,6 +82,12 @@ class NestedValidator(BaselineValidator):
         self.machine.cost.charge_event("nested_check")
         self.machine.counters.bump(ctr.NESTED_CHECK)
 
+    def _va_matches(self, entry, vaddr: int) -> bool:
+        """Step 5's VA comparison, split out so the model checker's
+        mutation mode (:mod:`repro.analysis.modelcheck.mutations`) can
+        weaken exactly this check and prove the checker notices."""
+        return entry.vaddr == (vaddr & ~(PAGE_SIZE - 1))
+
     # -- shaded steps 3-5: EPC page owned by another enclave ---------------------
     def on_eid_mismatch(self, core: "Core", secs: Secs, vaddr: int,
                         paddr_page: int, entry) -> Decision:
@@ -94,7 +100,7 @@ class NestedValidator(BaselineValidator):
             if entry.blocked:
                 return Decision(PAGE_FAULT,
                                 reason="outer page blocked for EWB")
-            if entry.vaddr != (vaddr & ~(PAGE_SIZE - 1)):
+            if not self._va_matches(entry, vaddr):
                 return Decision(
                     ABORT,
                     reason="outer-enclave page: VA mismatch vs EPCM")

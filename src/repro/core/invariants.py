@@ -31,13 +31,35 @@ def _entry_paddr(entry) -> int:
     return entry.pfn << PAGE_SHIFT
 
 
+def _transitive_outers(machine: Machine, secs) -> list:
+    """All (transitive) outer enclaves, nearest first, deduplicated.
+
+    Invariant 4 must cover the whole chain: with multi-level nesting
+    (§VIII) an inner enclave may validly hold translations into any
+    transitive outer's ELRANGE, not just its direct outers'.  Derived
+    here independently of the validator's own ``outer_chain`` walk.
+    """
+    chain = []
+    seen: set[int] = set()
+    frontier = list(secs.outer_eids)
+    while frontier:
+        eid = frontier.pop(0)
+        if eid in seen:
+            continue
+        seen.add(eid)
+        outer = machine.enclave(eid)
+        chain.append(outer)
+        frontier.extend(outer.outer_eids)
+    return chain
+
+
 def _audit_core(machine: Machine, core: Core) -> list[str]:
     violations: list[str] = []
     in_enclave = core.in_enclave_mode
     secs = machine.enclave(core.current_eid) if in_enclave else None
     outer_chain = []
     if secs is not None:
-        outer_chain = [machine.enclave(eid) for eid in secs.outer_eids]
+        outer_chain = _transitive_outers(machine, secs)
 
     for entry in core.tlb.entries():
         vaddr = entry.vpn << PAGE_SHIFT

@@ -86,6 +86,19 @@ class Epcm:
         ent.vaddr = 0
         ent.blocked = False
 
+    # -- snapshot / restore (bounded model checking) -------------------------
+    def capture(self) -> tuple:
+        """Valid entries as plain tuples (invalid ones are re-creatable)."""
+        return tuple((p, e.eid, e.page_type, e.vaddr, e.perms, e.blocked)
+                     for p, e in sorted(self._entries.items()) if e.valid)
+
+    def restore(self, snapshot: tuple) -> None:
+        self._entries.clear()
+        for paddr, eid, page_type, vaddr, perms, blocked in snapshot:
+            self._entries[paddr] = EpcmEntry(
+                valid=True, eid=eid, page_type=page_type, vaddr=vaddr,
+                perms=perms, blocked=blocked)
+
     def pages_of(self, eid: int) -> list[int]:
         """All valid EPC frames owned by ``eid`` (ascending)."""
         return sorted(p for p, e in self._entries.items()

@@ -168,6 +168,20 @@ class EpcAllocator:
         self._free_set.add(paddr)
         self._order.append(paddr)
 
+    # -- snapshot / restore (bounded model checking) -------------------------
+    def capture(self) -> tuple:
+        """Hand-out order + membership sets, as immutable values."""
+        return (tuple(self._order), frozenset(self._free_set),
+                frozenset(self._used))
+
+    def restore(self, snapshot: tuple) -> None:
+        order, free_set, used = snapshot
+        self._order[:] = list(order)
+        self._free_set.clear()
+        self._free_set.update(free_set)
+        self._used.clear()
+        self._used.update(used)
+
     @property
     def free_pages(self) -> int:
         return len(self._free_set)

@@ -83,6 +83,16 @@ class AddressSpace:
     def mapped_vpns(self) -> list[int]:
         return sorted(self._table)
 
+    # -- snapshot / restore (bounded model checking) ------------------------
+    def capture(self) -> tuple:
+        return tuple((vpn, pte.pfn, pte.perms, pte.present)
+                     for vpn, pte in sorted(self._table.items()))
+
+    def restore(self, snapshot: tuple) -> None:
+        self._table.clear()
+        for vpn, pfn, perms, present in snapshot:
+            self._table[vpn] = Pte(pfn, perms, present)
+
     @staticmethod
     def _check_aligned(addr: int) -> None:
         if addr % PAGE_SIZE:

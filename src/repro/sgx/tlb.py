@@ -89,6 +89,24 @@ class Tlb:
     def entries(self) -> list[TlbEntry]:
         return list(self._entries.values())
 
+    # -- snapshot / restore (bounded model checking) -------------------------
+    def capture(self) -> tuple:
+        """Contents + LRU recency as plain tuples (LRU first, MRU last)."""
+        return tuple((e.vpn, e.pfn, e.perms, e.context_eid)
+                     for e in self._entries.values())
+
+    def restore(self, snapshot: tuple) -> None:
+        """Rebuild contents from :meth:`capture`.
+
+        ``generation`` is *bumped*, never rewound: the per-core micro-cache
+        compares generations for equality, so any rewind could make a stale
+        micro-cache entry look current again.
+        """
+        self._entries.clear()
+        for vpn, pfn, perms, context_eid in snapshot:
+            self._entries[vpn] = TlbEntry(vpn, pfn, perms, context_eid)
+        self.generation += 1
+
     def __len__(self) -> int:
         return len(self._entries)
 

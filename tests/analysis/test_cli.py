@@ -32,7 +32,8 @@ def dirty_repo(tmp_path):
 
 
     def export(ctx, session_key):
-        ctx.ocall("stash", session_key)
+        ctx.ocall("stash", session_key)       # declared -> TAINT002
+        ctx.ocall("debug_dump", session_key)  # undeclared -> TAINT001
     '''))
     return tmp_path
 
@@ -46,7 +47,8 @@ class TestExitCodes:
     def test_dirty_repo_exits_one(self, dirty_repo, capsys):
         assert main(["--root", str(dirty_repo)]) == 1
         out = capsys.readouterr().out
-        assert "SIM002" in out and "EDL003" in out and "TAINT001" in out
+        assert "SIM002" in out and "EDL003" in out
+        assert "TAINT001" in out and "TAINT002" in out
 
     def test_unknown_pass_is_usage_error(self, capsys):
         assert main(["bogus"]) == 2
@@ -72,7 +74,7 @@ class TestPassSelection:
         assert payload["ok"] is False
         assert payload["new"]
         rules = {f["rule"] for f in payload["findings"]}
-        assert {"SIM002", "TAINT001"} <= rules
+        assert {"SIM002", "TAINT001", "TAINT002"} <= rules
 
 
 class TestBaseline:

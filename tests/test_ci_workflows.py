@@ -66,9 +66,9 @@ class TestTier1Gate:
         assert "push" in triggers
         assert "pull_request" in triggers
 
-    def test_three_separate_jobs(self):
+    def test_four_separate_jobs(self):
         assert set(_load("ci.yml")["jobs"]) == \
-            {"tests", "ruff", "analysis"}
+            {"tests", "ruff", "analysis", "modelcheck"}
 
     def test_python_matrix_is_39_and_312(self):
         tests = _load("ci.yml")["jobs"]["tests"]
@@ -96,6 +96,25 @@ class TestTier1Gate:
         assert any(
             "python -m repro.analysis --baseline analysis-baseline.json"
             in run for run in _runs(_load("ci.yml")))
+
+    def test_analysis_gate_publishes_sarif(self):
+        workflow = _load("ci.yml")
+        analysis = workflow["jobs"]["analysis"]
+        assert any("--sarif" in step.get("run", "")
+                   for step in analysis["steps"])
+        uploads = [step for step in analysis["steps"]
+                   if "upload-sarif" in step.get("uses", "")]
+        assert uploads, "analysis job must upload the SARIF report"
+        assert analysis["permissions"]["security-events"] == "write"
+
+    def test_modelcheck_job_exhausts_default_scope(self):
+        modelcheck = _load("ci.yml")["jobs"]["modelcheck"]
+        assert modelcheck["env"]["PYTHONPATH"] == "src"
+        assert any(
+            "python -m repro.analysis --check modelcheck" in run
+            and "--scope default" in run
+            for step in modelcheck["steps"]
+            for run in [step.get("run", "")])
 
 
 class TestNightlyPipeline:
@@ -126,6 +145,12 @@ class TestNightlyPipeline:
         for artifact in ("results.json", "timings.json",
                          "EXPERIMENTS.md"):
             assert artifact in quick_paths
+
+    def test_deep_modelcheck_and_mutation_kill_list(self):
+        runs = _runs(_load("nightly.yml"))
+        assert any("--check modelcheck" in run and "--scope deep" in run
+                   for run in runs)
+        assert any("--mutate all" in run for run in runs)
 
     def test_full_scale_is_opt_in(self):
         full = _load("nightly.yml")["jobs"]["full-suite"]

@@ -1,4 +1,4 @@
-"""Simulation-integrity lint: the SIM001–SIM005 ``ast`` rules.
+"""Simulation-integrity lint: the SIM001–SIM006 ``ast`` rules.
 
 The simulator's results are only meaningful if (a) every simulated
 memory access goes through the validation automaton and (b) nothing in a
@@ -33,6 +33,15 @@ both properties checkable per commit:
     ``NAME_NS = <number>`` and friends) outside
     :mod:`repro.perf.costmodel`, so every calibrated number has one
     home and ablations can vary it.
+``SIM006``
+    Determinism guard for fault injection and fault *handling*: inside
+    the modules listed in :data:`DEFAULT_CONFIG` ``.sim006_fault_modules``
+    (``repro.faults`` and the SDK/OS recovery paths), **any** dotted
+    ``time.*`` call (including ``time.sleep``, which SIM002 does not
+    cover) and any ``random.*`` call other than a *seeded* generator
+    constructor are flagged — a fault plan must replay byte-identically
+    from its seed, so hot paths may not consult host time or shared RNG
+    state.
 
 Any finding can be silenced on its line with ``# simlint:
 disable=SIM00X`` (comma-separate several IDs; ``disable=all`` kills
@@ -49,7 +58,7 @@ from pathlib import Path
 from repro.analysis.findings import Finding, Report
 from repro.analysis.pysource import Module, iter_modules
 
-RULES = ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005")
+RULES = ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006")
 
 #: ``*.phys`` methods that move or destroy bytes (geometry queries such
 #: as ``in_prm``/``in_epc``/``frame_exists`` are not accesses).
@@ -94,6 +103,15 @@ class SimlintConfig:
     sim005_allowed: frozenset[str] = frozenset({
         "repro.perf.costmodel",
     })
+    #: Module-name *prefixes* held to the stricter SIM006 determinism
+    #: contract (fault injection itself plus every recovery path it
+    #: exercises).
+    sim006_fault_modules: tuple[str, ...] = (
+        "repro.faults",
+        "repro.sdk.runtime",
+        "repro.sdk.secure_channel",
+        "repro.os.ipc",
+    )
 
 
 DEFAULT_CONFIG = SimlintConfig()
@@ -179,6 +197,7 @@ class _SimlintVisitor(ast.NodeVisitor):
         if name is not None:
             self._check_wallclock(node, name)
             self._check_random(node, name)
+            self._check_fault_path(node, name)
         self.generic_visit(node)
 
     def _check_wallclock(self, node: ast.Call, name: str) -> None:
@@ -214,6 +233,29 @@ class _SimlintVisitor(ast.NodeVisitor):
                 self._flag(node, "SIM003",
                            f"'{name}()' without a seed is nondeterministic",
                            symbol=name)
+    # -- SIM006 -------------------------------------------------------------
+    def _check_fault_path(self, node: ast.Call, name: str) -> None:
+        module = self.module.name
+        if not any(module == prefix or module.startswith(prefix + ".")
+                   for prefix in self.config.sim006_fault_modules):
+            return
+        parts = name.split(".")
+        if parts[0] == "time" and len(parts) > 1:
+            self._flag(node, "SIM006",
+                       f"'{name}' on a fault-injection/recovery path: "
+                       "fault plans must replay from their seed alone; "
+                       "use simulated-time backoff (cost.charge)",
+                       symbol=name)
+        elif parts[0] == "random" and len(parts) > 1:
+            seeded_ctor = (parts[-1] in _RNG_CTORS
+                           and bool(node.args or node.keywords))
+            if not seeded_ctor:
+                self._flag(node, "SIM006",
+                           f"'{name}' on a fault-injection/recovery path: "
+                           "only seeded generator constructors (e.g. "
+                           "random.Random(seed)) are allowed here",
+                           symbol=name)
+
     # -- SIM004 -------------------------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
         broad = []

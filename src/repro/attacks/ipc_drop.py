@@ -7,17 +7,25 @@ has seen no explicit failure.  A malicious OS that carries the channel
 silently drops the initialisation message: the callback never runs, no
 error surfaces, and the application accepts an invalid certificate.
 
-Two transports implement the same protocol:
+Three transports implement the same protocol:
 
 * ``run_over_os_ipc``  — baseline: GCM-sealed messages over OS IPC.
   Sealing stops forgery/replay, but the drop is silent; the attack
-  succeeds.
+  succeeds.  The drop itself is a thin preset over the fault engine's
+  :class:`~repro.faults.ipc.LossyIpcRouter` — the same mechanism
+  ``python -m repro.runner --chaos`` injects from a plan.
+* ``run_over_reliable_link`` — hardened baseline: the OS still carries
+  the bytes, but the exchange runs over a
+  :class:`~repro.sdk.secure_channel.ReliableLink`.  Intermittent drops
+  are absorbed by idempotent resends; a total blackout surfaces as a
+  typed :class:`~repro.errors.ChannelTimeout`, so the application
+  fails *closed* instead of proceeding on silence.
 * ``run_over_nested_ring`` — the application and the certificate
   manager are peer inner enclaves exchanging messages through their
   shared outer enclave's ring.  The OS never carries the bytes, so it
   has nothing to drop; the attack has no purchase.
 
-Both runners return a :class:`CertCheckOutcome` stating whether the
+All runners return a :class:`CertCheckOutcome` stating whether the
 verification actually executed and what the application concluded.
 """
 
@@ -26,8 +34,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.channel import SharedRing
-from repro.os.malicious import DroppingIpcRouter, install_router
-from repro.sdk.secure_channel import GcmChannel
+from repro.errors import ChannelTimeout
+from repro.faults.ipc import dropping_policy, install_lossy_router
+from repro.sdk.secure_channel import GcmChannel, reliable_pair
 
 
 @dataclass
@@ -109,9 +118,8 @@ def _manager_service(recv, send) -> int:
 def run_over_os_ipc(machine, kernel, *, os_drops: bool) -> CertCheckOutcome:
     """Baseline transport: sealed messages through OS IPC."""
     if os_drops:
-        router = DroppingIpcRouter(
-            kernel, lambda port, msg: port.endswith(":to-mgr"))
-        install_router(kernel, router)
+        install_lossy_router(kernel, dropping_policy(
+            lambda port, msg: port.endswith(":to-mgr")))
     kernel.ipc.create_port("cert:to-mgr")
     kernel.ipc.create_port("cert:to-app")
     key = b"cert-channel-key"
@@ -132,6 +140,57 @@ def run_over_os_ipc(machine, kernel, *, os_drops: bool) -> CertCheckOutcome:
     return CertCheckOutcome(check_executed=executed > 0,
                             app_accepted=not explicit_failure,
                             explicit_failure_seen=explicit_failure)
+
+
+def run_over_reliable_link(machine, kernel, *, drop_first: int = 0,
+                           drop_all: bool = False) -> CertCheckOutcome:
+    """Hardened baseline: same OS-carried bytes, but request/response
+    over a :class:`ReliableLink` with resends and a typed timeout.
+
+    ``drop_first`` drops that many leading request datagrams (the
+    resend budget absorbs them); ``drop_all`` blacks the request port
+    out entirely, turning the silent-drop attack into an explicit
+    :class:`ChannelTimeout` the application handles by failing closed.
+    """
+    if drop_all:
+        install_lossy_router(kernel, dropping_policy(
+            lambda port, msg: port.endswith(":req")))
+    elif drop_first:
+        remaining = {"n": drop_first}
+
+        def should_drop(port: str, msg: bytes) -> bool:
+            if not port.endswith(":req") or remaining["n"] <= 0:
+                return False
+            remaining["n"] -= 1
+            return True
+
+        install_lossy_router(kernel, dropping_policy(should_drop))
+
+    executed = {"n": 0}
+
+    def manager(payload: bytes) -> bytes:
+        if not payload.startswith(b"INIT-CHECK:"):
+            return b"CHECK-FAILED"
+        executed["n"] += 1
+        cert = payload[len(b"INIT-CHECK:"):]
+        return b"CHECK-OK" if _verify_certificate(cert) \
+            else b"CHECK-FAILED"
+
+    link, responder = reliable_pair(machine, kernel.ipc, "cert",
+                                    b"cert-channel-key", manager)
+    try:
+        verdict = link.call(b"INIT-CHECK:" + BOGUS_CERT,
+                            pump=responder.pump)
+    except ChannelTimeout:
+        # Loud failure: the application refuses to proceed without a
+        # verdict — the opposite of the Panoply silence-is-consent bug.
+        return CertCheckOutcome(check_executed=executed["n"] > 0,
+                                app_accepted=False,
+                                explicit_failure_seen=True)
+    return CertCheckOutcome(check_executed=executed["n"] > 0,
+                            app_accepted=verdict != b"CHECK-FAILED",
+                            explicit_failure_seen=verdict
+                            == b"CHECK-FAILED")
 
 
 def run_over_nested_ring(machine, app_core, mgr_core,

@@ -94,5 +94,24 @@ class ChannelError(ReproError):
     """Misuse or corruption detected on an inter-enclave channel."""
 
 
+class IpcTimeout(ChannelError):
+    """An IPC receive exhausted its simulated-time deadline with no
+    message arriving.  Subclasses :class:`ChannelError` so legacy callers
+    that catch the broad class keep working."""
+
+
+class ChannelTimeout(ChannelError):
+    """A reliable secure-channel exchange exhausted its retry budget —
+    the lossy transport dropped the request or the response every time."""
+
+
 class CryptoError(ReproError):
     """Authenticated decryption failed, bad key sizes, etc."""
+
+
+class FaultInjectionError(ReproError):
+    """The fault-injection engine itself detected an inconsistency: an
+    injection left the machine in a state where
+    :func:`repro.core.invariants.audit_machine` reports violations, or a
+    fault plan could not be applied as specified.  Distinct from the
+    typed faults an injection *causes* (those use the hardware tree)."""

@@ -178,10 +178,74 @@ def _selftest_flaky() -> ExperimentResult:
     raise RuntimeError("selftest-flaky: deliberate first-attempt failure")
 
 
+_SELFTEST_MEMORY_EDL = """
+enclave {
+    trusted {
+        public int churn(int rounds);
+    };
+};
+"""
+
+
+def _selftest_memory_churn(ctx, rounds):
+    """Entry body: read/write a rolling window of heap lines."""
+    heap = ctx.handle.heap
+    lines = heap.size // 64
+    total = 0
+    for i in range(rounds):
+        addr = heap.base + (i % lines) * 64
+        ctx.write(addr, (i * 2654435761 % (1 << 64)).to_bytes(8,
+                                                              "little"))
+        total = (total
+                 + int.from_bytes(ctx.read(addr, 8), "little")) \
+            % (1 << 64)
+    return total
+
+
+def _selftest_memory() -> ExperimentResult:
+    """A tiny enclave workload with guaranteed in-enclave heap traffic.
+
+    Exists so the chaos harness (and its tests) can exercise every
+    memory-fault kind — AEX bubbles, forced evictions, DRAM bit flips —
+    in well under a second instead of through a paper experiment.  The
+    result folds the *simulated* finish time, so any fault bubble that
+    leaks cost shows up as a fingerprint mismatch.
+    """
+    from repro.core.access import NestedValidator
+    from repro.os import Kernel
+    from repro.sdk import (EnclaveBuilder, EnclaveHost, developer_key,
+                           parse_edl)
+    from repro.sgx.constants import PAGE_SIZE, SmallMachineConfig
+    from repro.sgx.machine import Machine
+
+    machine = Machine(SmallMachineConfig(num_cores=2),
+                      validator_cls=NestedValidator)
+    kernel = Kernel(machine)
+    host = EnclaveHost(machine, kernel)
+    builder = EnclaveBuilder("selftest-mem",
+                             parse_edl(_SELFTEST_MEMORY_EDL),
+                             signing_key=developer_key("selftest"),
+                             heap_bytes=4 * PAGE_SIZE)
+    builder.add_entry("churn", _selftest_memory_churn)
+    handle = host.load(builder.build())
+    total = handle.ecall("churn", 400)
+    result = ExperimentResult("Selftest",
+                              "runner self-test: enclave memory churn",
+                              ("outcome",))
+    result.add("memory-churn")
+    result.metric("checksum", total)
+    result.metric("sim_ns", machine.clock.now_ns)
+    host.unload(handle)
+    return result
+
+
 def _specs_selftest() -> list[ExperimentSpec]:
     return [
         ExperimentSpec("selftest-ok", _selftest_ok, _selftest_ok,
                        budget_s=30, full_budget_s=30, cost_hint=0.01),
+        ExperimentSpec("selftest-memory", _selftest_memory,
+                       _selftest_memory,
+                       budget_s=30, full_budget_s=30, cost_hint=0.02),
         ExperimentSpec("selftest-crash", _selftest_crash,
                        _selftest_crash,
                        budget_s=30, full_budget_s=30, cost_hint=0.01),

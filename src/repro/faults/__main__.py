@@ -1,0 +1,136 @@
+"""``python -m repro.faults`` — generate, inspect, and replay plans.
+
+Examples::
+
+    python -m repro.faults generate --benign 7        # plan JSON
+    python -m repro.faults generate --bitflip 1 -o plan.json
+    python -m repro.faults show plan.json             # human summary
+    python -m repro.faults replay plan.json table4    # re-run under it
+
+``replay`` is the debugging half of the chaos workflow: a plan that
+``python -m repro.runner --chaos K`` serialized re-injects the exact
+same faults at the exact same trigger points, every time.
+
+Exit status: 0 on success (for ``replay``: every experiment passed),
+1 when a replayed experiment fails, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults.plan import FaultPlan
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Seeded fault-injection plans: generate, show, "
+                    "replay.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="emit a seeded plan as JSON")
+    kind = gen.add_mutually_exclusive_group(required=True)
+    kind.add_argument("--benign", type=int, metavar="SEED",
+                      help="transparent plan: AEX, evict, IPC "
+                           "delay/dup/reorder")
+    kind.add_argument("--bitflip", type=int, metavar="SEED",
+                      help="malicious plan: one DRAM bit flip")
+    gen.add_argument("-o", "--output", default=None, metavar="PATH",
+                     help="write here instead of stdout")
+
+    show = sub.add_parser("show", help="summarize a serialized plan")
+    show.add_argument("plan", metavar="PLAN.json")
+
+    replay = sub.add_parser(
+        "replay", help="re-run experiments under a serialized plan")
+    replay.add_argument("plan", metavar="PLAN.json")
+    replay.add_argument("names", nargs="*", metavar="experiment",
+                        help="experiments to run (prefix match; "
+                             "default: all)")
+    replay.add_argument("-j", "--parallel", type=int, default=None,
+                        metavar="N", help="worker processes")
+    replay.add_argument("--full", action="store_true",
+                        help="benchmark-scale variants")
+    replay.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    return parser
+
+
+def _load_plan(path: str) -> FaultPlan:
+    with open(path, "r", encoding="utf-8") as handle:
+        return FaultPlan.from_json(handle.read())
+
+
+def _cmd_generate(args) -> int:
+    if args.benign is not None:
+        plan = FaultPlan.benign(args.benign)
+    else:
+        plan = FaultPlan.bitflip(args.bitflip)
+    text = plan.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_show(args) -> int:
+    plan = _load_plan(args.plan)
+    flavour = "MALICIOUS" if plan.malicious else "benign"
+    print(f"fault plan seed={plan.seed} ({flavour})"
+          + (f": {plan.note}" if plan.note else ""))
+    for spec in plan.memory_faults():
+        extra = f" flip_mask=0x{spec.flip_mask:02x}" \
+            if spec.kind == "bitflip" else ""
+        print(f"  memory access #{spec.at:>5}: {spec.kind}{extra}")
+    for spec in plan.ipc_faults():
+        print(f"  ipc message  #{spec.at:>5}: {spec.action}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.experiments import registry as reg
+    from repro.runner.chaos import run_replay
+
+    plan = _load_plan(args.plan)
+    names = reg.select(args.names)
+    if not names:
+        print(f"no experiment matches {args.names}; available: "
+              f"{', '.join(reg.specs())}", file=sys.stderr)
+        return 2
+    say = (lambda message: None) if args.quiet else \
+        (lambda message: print(message, file=sys.stderr))
+    say(f"replaying plan seed={plan.seed} "
+        f"({len(plan.faults)} fault(s)) over {len(names)} "
+        f"experiment(s)")
+    run = run_replay(plan, names, full=args.full, jobs=args.parallel,
+                     progress=say)
+    status = 0
+    for name, outcome in run.outcomes.items():
+        if outcome.ok:
+            say(f"{name}: ok (fingerprint {outcome.fingerprint})")
+        else:
+            print(f"{name}: {outcome.status}\n{outcome.error}",
+                  file=sys.stderr)
+            status = 1
+    return status
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "show":
+            return _cmd_show(args)
+        return _cmd_replay(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,163 @@
+"""Fault plans: seeded generation, JSON round-trip, replay identity.
+
+A :class:`FaultPlan` is the *entire* description of a chaos run: a seed
+(for provenance), an ordered tuple of :class:`FaultSpec` triggers, and a
+free-form note.  Replaying a serialized plan injects byte-identical
+faults — the engine consumes the specs; it never draws randomness of its
+own.  The only RNG use in this package is the seeded ``random.Random``
+constructor inside the generator classmethods below, which is exactly
+the pattern simlint rules SIM003/SIM006 permit.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["FaultSpec", "FaultPlan"]
+
+#: Fault kinds triggered by enclave memory-access count.
+MEMORY_KINDS = frozenset({"aex", "evict", "bitflip"})
+
+#: IPC actions; "drop" is the only malicious one (messages vanish).
+IPC_ACTIONS = frozenset({"drop", "dup", "delay", "reorder"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault trigger.
+
+    ``kind``
+        ``"aex"`` / ``"evict"`` / ``"bitflip"`` fire on the ``at``-th
+        enclave memory access (1-based, counted by the engine's per-core
+        access hook).  ``"ipc"`` fires on the ``at``-th message handed
+        to :meth:`IpcRouter.deliver` (1-based).
+    ``action``
+        For ``kind == "ipc"`` only: one of ``drop`` / ``dup`` /
+        ``delay`` / ``reorder``.
+    ``flip_mask``
+        For ``kind == "bitflip"`` only: XOR mask applied to byte 0 of
+        the targeted DRAM cacheline (must be non-zero).
+    """
+
+    kind: str
+    at: int
+    action: str = ""
+    flip_mask: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind == "ipc":
+            if self.action not in IPC_ACTIONS:
+                raise ValueError(
+                    f"ipc fault needs action in {sorted(IPC_ACTIONS)}, "
+                    f"got {self.action!r}")
+        elif self.kind in MEMORY_KINDS:
+            if self.action:
+                raise ValueError(
+                    f"{self.kind} fault takes no action, got {self.action!r}")
+        else:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 1:
+            raise ValueError(f"trigger point must be >= 1, got {self.at}")
+        if self.kind == "bitflip" and not 1 <= self.flip_mask <= 0xFF:
+            raise ValueError(
+                f"flip_mask must be a non-zero byte, got {self.flip_mask}")
+
+    @property
+    def malicious(self) -> bool:
+        """Faults that must fail loudly instead of being transparent."""
+        return (self.kind == "bitflip"
+                or (self.kind == "ipc" and self.action == "drop"))
+
+    def to_dict(self) -> dict:
+        d: dict = {"kind": self.kind, "at": self.at}
+        if self.action:
+            d["action"] = self.action
+        if self.kind == "bitflip":
+            d["flip_mask"] = self.flip_mask
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        return cls(kind=d["kind"], at=d["at"],
+                   action=d.get("action", ""),
+                   flip_mask=d.get("flip_mask", 1))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A replayable set of fault triggers plus provenance."""
+
+    seed: int
+    faults: tuple = field(default_factory=tuple)
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def has_bitflip(self) -> bool:
+        return any(f.kind == "bitflip" for f in self.faults)
+
+    @property
+    def malicious(self) -> bool:
+        return any(f.malicious for f in self.faults)
+
+    def memory_faults(self) -> list:
+        """Specs fired by the access hook, sorted by trigger point."""
+        return sorted((f for f in self.faults if f.kind in MEMORY_KINDS),
+                      key=lambda f: f.at)
+
+    def ipc_faults(self) -> list:
+        """Specs fired by IPC delivery, sorted by trigger point."""
+        return sorted((f for f in self.faults if f.kind == "ipc"),
+                      key=lambda f: f.at)
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"schema": 1, "seed": self.seed, "note": self.note,
+                "faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        if d.get("schema", 1) != 1:
+            raise ValueError(f"unknown fault-plan schema {d.get('schema')!r}")
+        return cls(seed=d["seed"], note=d.get("note", ""),
+                   faults=tuple(FaultSpec.from_dict(f)
+                                for f in d.get("faults", ())))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -- seeded generators --------------------------------------------------
+    @classmethod
+    def benign(cls, seed: int, *, memory_faults: int = 4,
+               ipc_faults: int = 3) -> "FaultPlan":
+        """A transparent-by-design plan: AEX storms, forced eviction,
+        and IPC delay/duplicate/reorder — never drops or bit flips."""
+        rng = random.Random(seed)
+        specs = []
+        trigger_points = sorted(rng.sample(range(40, 6000), memory_faults))
+        for at in trigger_points:
+            specs.append(FaultSpec(kind=rng.choice(("aex", "evict")), at=at))
+        for at in sorted(rng.sample(range(1, 40), ipc_faults)):
+            specs.append(FaultSpec(
+                kind="ipc", at=at,
+                action=rng.choice(("delay", "dup", "reorder"))))
+        return cls(seed=seed, faults=tuple(specs),
+                   note=f"benign chaos plan (seed {seed})")
+
+    @classmethod
+    def bitflip(cls, seed: int) -> "FaultPlan":
+        """A malicious plan: one DRAM bit flip the MEE must detect."""
+        rng = random.Random(seed)
+        spec = FaultSpec(kind="bitflip", at=rng.randrange(40, 2000),
+                         flip_mask=1 << rng.randrange(8))
+        return cls(seed=seed, faults=(spec,),
+                   note=f"malicious bit-flip plan (seed {seed})")

@@ -21,7 +21,8 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING
 
-from repro.errors import ChannelError
+from repro.errors import ChannelError, IpcTimeout
+from repro.perf.costmodel import IPC_POLL_NS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.os.kernel import Kernel
@@ -62,11 +63,26 @@ class IpcRouter:
             return None
         return queue.popleft()
 
-    def recv(self, port: str) -> bytes:
+    def recv(self, port: str, timeout_ns: float | None = None) -> bytes:
+        """Blocking receive with a bounded simulated-time deadline.
+
+        Polls the port every :data:`IPC_POLL_NS` of simulated time until
+        a message arrives or ``timeout_ns`` has elapsed, then raises a
+        typed :class:`IpcTimeout`.  ``timeout_ns=None`` (the legacy
+        busy-spin semantics, which could never make progress on an empty
+        port anyway) raises immediately instead of spinning forever.
+        """
         message = self.try_recv(port)
-        if message is None:
-            raise ChannelError(f"port {port!r} empty")
-        return message
+        if message is not None:
+            return message
+        if timeout_ns is not None:
+            charge = self.kernel.machine.cost.charge
+            for _ in range(max(1, int(timeout_ns / IPC_POLL_NS))):
+                charge("ipc_poll", IPC_POLL_NS)
+                message = self.try_recv(port)
+                if message is not None:
+                    return message
+        raise IpcTimeout(f"port {port!r} empty")
 
     def pending(self, port: str) -> int:
         return len(self._port(port))

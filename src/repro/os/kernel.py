@@ -48,6 +48,8 @@ class Kernel:
         self.driver = SgxDriver(self)
         self.scheduler = Scheduler(machine)
         self.ipc = IpcRouter(self)
+        if machine.fault_engine is not None:
+            machine.fault_engine.attach_kernel(self)
         self.processes: list[Process] = []
         # Untrusted physical memory allocator: hands out page frames from
         # ordinary (non-PRM) DRAM, bottom up, skipping the PRM.

@@ -20,25 +20,25 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.faults.ipc import LossyIpcRouter, dropping_policy
 from repro.os.ipc import IpcRouter
 from repro.os.kernel import Kernel, Process
 from repro.sgx.machine import Machine
 from repro.sgx.secs import Secs
 
 
-class DroppingIpcRouter(IpcRouter):
-    """Drops every message for which ``should_drop`` returns True."""
+class DroppingIpcRouter(LossyIpcRouter):
+    """Drops every message for which ``should_drop`` returns True.
+
+    A thin preset over the fault engine's
+    :class:`~repro.faults.ipc.LossyIpcRouter` — the repo has exactly one
+    IPC-fault injection mechanism; this class only pins the historical
+    ``(kernel, should_drop)`` constructor the attack tests use."""
 
     def __init__(self, kernel: Kernel,
                  should_drop: Callable[[str, bytes], bool]) -> None:
-        super().__init__(kernel)
+        super().__init__(kernel, dropping_policy(should_drop))
         self.should_drop = should_drop
-
-    def deliver(self, port: str, message: bytes) -> None:
-        if self.should_drop(port, message):
-            self.dropped += 1
-            return  # silently vanish — no error surfaces anywhere
-        super().deliver(port, message)
 
 
 class ReplayingIpcRouter(IpcRouter):

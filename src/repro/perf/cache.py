@@ -140,6 +140,26 @@ class LlcModel:
         for lru in self._sets:
             lru.clear()
 
+    def invalidate_line(self, paddr: int) -> bool:
+        """Drop the line containing ``paddr`` from the cache (models a
+        snooped invalidation so the next access refills from DRAM).
+        Returns True if the line was present."""
+        line_addr = paddr - (paddr % self.line_bytes)
+        return self._sets[self._set_index(line_addr)].pop(
+            line_addr, 1) is None
+
+    # -- snapshot / restore (fault-injection perf bubbles) -------------------
+    def capture(self) -> tuple:
+        """Full replacement state + hit/miss counters, as plain values."""
+        return ([dict(lru) for lru in self._sets],
+                self.hits, self.misses, self.evictions)
+
+    def restore(self, snapshot: tuple) -> None:
+        sets, self.hits, self.misses, self.evictions = snapshot
+        for lru, saved in zip(self._sets, sets):
+            lru.clear()
+            lru.update(saved)
+
     @property
     def capacity_lines(self) -> int:
         return self.num_sets * self.ways

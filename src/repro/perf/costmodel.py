@@ -115,6 +115,21 @@ SQL_ROW_NS = 1_500.0
 #: between cores (~100-200 ns on real parts; repro.sdk.switchless).
 SWITCHLESS_POLL_NS = 150.0
 
+#: Simulated backoff the SDK runtime sleeps between ecall entry retries
+#: (TCS busy / evicted-page refault; repro.sdk.runtime) — roughly a
+#: scheduler quantum's worth of yielding on real systems.
+ECALL_RETRY_BACKOFF_NS = 5_000.0
+
+#: Polling interval of the blocking OS-IPC receive path
+#: (repro.os.ipc.IpcRouter.recv with a timeout): one futex-style
+#: wait/wake round trip per empty poll.
+IPC_POLL_NS = 2_000.0
+
+#: Simulated backoff between reliable-channel resend attempts over lossy
+#: IPC (repro.sdk.secure_channel.ReliableLink) — an RTO-style delay, far
+#: above the per-message syscall cost so duplicate traffic stays rare.
+CHANNEL_RETRY_BACKOFF_NS = 50_000.0
+
 
 class SimClock:
     """A monotonically advancing simulated clock."""

@@ -47,6 +47,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "('-' = stdout)")
     parser.add_argument("--timings", default=None, metavar="PATH",
                         help="write the host-timings document here")
+    parser.add_argument("--chaos", type=int, default=None, metavar="K",
+                        help="chaos mode: baseline suite, K benign "
+                             "fault-plan suites (fingerprints must "
+                             "match), and one DRAM-bitflip suite (must "
+                             "fail loudly); see repro.runner.chaos")
+    parser.add_argument("--chaos-dir", default=None, metavar="PATH",
+                        help="serialize the bitflip plan and any "
+                             "failing fault plans here for replay")
     parser.add_argument("--no-budgets", action="store_true",
                         help="disable per-experiment host-time budgets "
                              "(also implied by REPRO_SKIP_HOST_BUDGET=1)")
@@ -82,6 +90,32 @@ def main(argv: "list[str] | None" = None) -> int:
 
     say = (lambda message: None) if args.quiet else \
         (lambda message: print(message, file=sys.stderr))
+
+    if args.chaos is not None:
+        if args.chaos < 1:
+            print("error: --chaos needs K >= 1", file=sys.stderr)
+            return 2
+        names = reg.select(args.names)
+        if not names:
+            print(f"no experiment matches {args.names}; available: "
+                  f"{', '.join(reg.specs())}", file=sys.stderr)
+            return 2
+        from repro.runner.chaos import run_chaos
+        chaos_report = run_chaos(
+            names, full=args.full, jobs=args.parallel,
+            chaos=args.chaos, chaos_dir=args.chaos_dir,
+            enforce_budgets=False if args.no_budgets else None,
+            progress=say)
+        for label, path in chaos_report.saved_plans.items():
+            say(f"chaos: plan '{label}' serialized to {path}")
+        if not chaos_report.ok:
+            for problem in chaos_report.problems:
+                print(f"chaos: {problem}", file=sys.stderr)
+            return 1
+        say(f"chaos ok: {chaos_report.suites_run} suites, "
+            f"{chaos_report.bitflip_detections} integrity "
+            f"detection(s), fingerprints stable under benign faults")
+        return 0
 
     if args.report:
         try:

@@ -138,8 +138,8 @@ def _reap(live: _Live) -> None:
 def run_suite(names: Optional[list] = None, *, full: bool = False,
               jobs: Optional[int] = None,
               enforce_budgets: Optional[bool] = None,
-              progress: Optional[Callable[[str], None]] = None
-              ) -> SuiteRun:
+              progress: Optional[Callable[[str], None]] = None,
+              fault_plan: Optional[str] = None) -> SuiteRun:
     """Run ``names`` (default: every registered experiment) across at
     most ``jobs`` worker processes and return a :class:`SuiteRun`.
 
@@ -147,7 +147,25 @@ def run_suite(names: Optional[list] = None, *, full: bool = False,
     that to ``1`` (as CI does for the host-budget pytest gate) disables
     the runner's per-experiment timeouts too, since both guard the same
     thing — host-time expectations a loaded shared runner cannot meet.
+
+    ``fault_plan`` is a serialized :class:`repro.faults.FaultPlan`
+    (JSON); it is exported as ``REPRO_FAULT_PLAN`` for the duration of
+    the suite so every worker's :class:`~repro.sgx.machine.Machine`
+    attaches a fault engine (workers inherit the parent environment at
+    fork/spawn time).
     """
+    if fault_plan is not None:
+        saved = os.environ.get("REPRO_FAULT_PLAN")
+        os.environ["REPRO_FAULT_PLAN"] = fault_plan
+        try:
+            return run_suite(names, full=full, jobs=jobs,
+                             enforce_budgets=enforce_budgets,
+                             progress=progress)
+        finally:
+            if saved is None:
+                del os.environ["REPRO_FAULT_PLAN"]
+            else:
+                os.environ["REPRO_FAULT_PLAN"] = saved
     spec_map = reg.specs()
     if names is None:
         names = list(spec_map)

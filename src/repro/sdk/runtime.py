@@ -39,9 +39,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core import nested_isa
-from repro.errors import SdkError, UnknownInterfaceError
+from repro.errors import (AccessViolation, PageFault, SdkError, TcsBusy,
+                          UnknownInterfaceError)
 from repro.os.kernel import Kernel, Process
 from repro.perf import counters as ctr
+from repro.perf.costmodel import ECALL_RETRY_BACKOFF_NS
 from repro.sdk.builder import EnclaveImage
 from repro.sdk.heap import EnclaveHeap
 from repro.sgx import isa
@@ -49,6 +51,11 @@ from repro.sgx.constants import TCS_IDLE
 from repro.sgx.cpu import Core
 from repro.sgx.machine import Machine
 from repro.sgx.secs import Secs
+
+#: Bounded retry budget for transient ecall entry failures (TCS busy,
+#: evicted-page refault).  Each retry charges ECALL_RETRY_BACKOFF_NS of
+#: simulated backoff; the last failure propagates typed.
+ECALL_MAX_ATTEMPTS = 4
 
 
 class EnclaveContext:
@@ -218,23 +225,74 @@ class EnclaveHandle:
         raise SdkError(f"no idle TCS in {self.image.name!r}")
 
     def ecall(self, name: str, *args: Any, core: Core | None = None) -> Any:
-        """Untrusted → enclave call."""
+        """Untrusted → enclave call, with bounded recovery.
+
+        Transient entry failures — a busy TCS, or a #PF on a page the OS
+        evicted (EWB) that the driver can reload (ELDB) — are retried up
+        to :data:`ECALL_MAX_ATTEMPTS` times with a simulated-time backoff
+        between attempts.  A retry re-runs the *whole* entry function, so
+        recovery-dependent entries must be idempotent (ours are: they
+        compute over enclave state rather than consuming inputs).
+        Non-transient faults (access violations, SDK misuse, application
+        exceptions) propagate immediately after unwinding the core back
+        to non-enclave mode.
+        """
         if name not in self.image.edl.trusted:
             raise UnknownInterfaceError(
                 f"{name!r} is not an EDL-declared ecall of "
                 f"{self.image.name!r}")
         machine = self.host.machine
         core = core or self.host.core
-        tcs_vaddr = self.idle_tcs()
-        isa.eenter(machine, core, self.secs, tcs_vaddr)
-        try:
-            ctx = EnclaveContext(self.host, self, core)
-            result = self.image.entry(name)(ctx, *args)
-        finally:
+        for attempt in range(ECALL_MAX_ATTEMPTS):
+            try:
+                tcs_vaddr = self.idle_tcs()
+                isa.eenter(machine, core, self.secs, tcs_vaddr)
+            except (TcsBusy, SdkError):
+                if attempt == ECALL_MAX_ATTEMPTS - 1:
+                    raise
+                machine.cost.charge("ecall_backoff", ECALL_RETRY_BACKOFF_NS)
+                continue
+            try:
+                ctx = EnclaveContext(self.host, self, core)
+                result = self.image.entry(name)(ctx, *args)
+            except PageFault as fault:
+                self._unwind(machine, core, tcs_vaddr)
+                if isinstance(fault, AccessViolation):
+                    raise
+                if attempt < ECALL_MAX_ATTEMPTS - 1 \
+                        and self.host.kernel.driver.handle_page_fault(
+                            self.secs, fault.vaddr):
+                    machine.cost.charge("ecall_backoff",
+                                        ECALL_RETRY_BACKOFF_NS)
+                    continue
+                raise
+            # Unwind-and-reraise: broad by design — every failure class,
+            # including application exceptions, must leave the core out
+            # of enclave mode before propagating.
+            except BaseException:  # simlint: disable=SIM004
+                self._unwind(machine, core, tcs_vaddr)
+                raise
             isa.eexit(machine, core)
-        machine.counters.bump(ctr.ECALL)
-        machine.cost.charge_event("ecall")
-        return result
+            machine.counters.bump(ctr.ECALL)
+            machine.cost.charge_event("ecall")
+            return result
+
+    def _unwind(self, machine: Machine, core: Core, tcs_vaddr: int) -> None:
+        """Return the core to non-enclave mode after a failed entry.
+
+        Handles the AEX-parked case first (the fault interrupted the
+        thread and its context sits in the root TCS), then peels any
+        nested frames the entry left behind, then EEXITs the root frame.
+        """
+        if not core.in_enclave_mode:
+            tcs = machine.tcs(self.secs.eid, tcs_vaddr)
+            if tcs.saved_context is None:
+                return
+            isa.eresume(machine, core, self.secs, tcs_vaddr)
+        while len(core.enclave_stack) > 1:
+            nested_isa.neexit(machine, core)
+        if core.in_enclave_mode:
+            isa.eexit(machine, core)
 
 
 class EnclaveHost:

@@ -46,6 +46,11 @@ class Core:
         self.registers: dict[str, int] = {r: 0 for r in REGISTER_NAMES}
         #: TCS vaddr per active enclave frame (parallel to enclave_stack).
         self.tcs_stack: list[int] = []
+        #: Optional ``hook(core, vaddr, is_write)`` observed before every
+        #: read/write — the fault-injection seam (repro.faults.engine).
+        #: None in normal runs, so the hot path pays one attribute load
+        #: and an is-None test per access.
+        self.access_hook = None
         # Translation micro-cache: the last two (vpn -> TlbEntry) pairs
         # this core resolved, valid only while the TLB's generation is
         # unchanged.  Invariant while ``_mc_gen == tlb.generation``: slot
@@ -189,6 +194,9 @@ class Core:
 
     def read(self, vaddr: int, size: int) -> bytes:
         """Read ``size`` bytes of virtual memory with full protection."""
+        hook = self.access_hook
+        if hook is not None:
+            hook(self, vaddr, False)
         off = vaddr & (PAGE_SIZE - 1)
         if 0 < size <= PAGE_SIZE - off:
             # Fast path: the access stays within one page — exactly one
@@ -223,6 +231,9 @@ class Core:
         return bytes(out)
 
     def write(self, vaddr: int, data: bytes) -> None:
+        hook = self.access_hook
+        if hook is not None:
+            hook(self, vaddr, True)
         size = len(data)
         off = vaddr & (PAGE_SIZE - 1)
         if 0 < size <= PAGE_SIZE - off:

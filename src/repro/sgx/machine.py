@@ -26,6 +26,7 @@ core's TLB/validation pipeline, exactly as microcode does on real parts.
 from __future__ import annotations
 
 import hashlib
+import os
 
 from repro.errors import SgxFault
 from repro.perf import counters as ctr
@@ -86,6 +87,15 @@ class Machine:
         #: Optional structured tracer (repro.perf.trace.Tracer); None
         #: keeps tracing free.
         self.tracer = None
+        #: Fault-injection engine (repro.faults.engine.FaultEngine); None
+        #: in normal runs.  Chaos runs thread a serialized FaultPlan to
+        #: worker processes through the environment, so every Machine a
+        #: replayed experiment builds gets the same plan attached.
+        self.fault_engine = None
+        plan_json = os.environ.get("REPRO_FAULT_PLAN")
+        if plan_json:
+            from repro.faults.engine import attach_engine
+            attach_engine(self, plan_json)
 
     def trace(self, kind: str, core_id: int | None = None,
               **details) -> None:

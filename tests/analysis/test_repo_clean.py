@@ -41,10 +41,12 @@ def test_every_pass_runs_individually():
 
 def test_suppressions_are_rare_and_deliberate():
     # The sanctioned inline disables today: the two physical-attacker
-    # accesses in repro.os.malicious (SIM001) and the runner worker's
+    # accesses in repro.os.malicious (SIM001), the runner worker's
     # crash barrier (SIM004 in repro.runner.pool, which must forward
-    # *any* harness failure across the process boundary as data).
-    # Growing this number should be a conscious review decision, not
-    # drift.
+    # *any* harness failure across the process boundary as data), and
+    # the SDK runtime's unwind-and-reraise (SIM004 in repro.sdk.runtime:
+    # every failure class must leave the core out of enclave mode before
+    # propagating, so the handler is broad by design).  Growing this
+    # number should be a conscious review decision, not drift.
     report = run_repo_analysis()
-    assert report.suppressed <= 3
+    assert report.suppressed <= 4

@@ -207,6 +207,75 @@ class TestSim005:
         assert result.findings == []
 
 
+class TestSim006:
+    def test_time_sleep_flagged_in_fault_modules(self, tmp_path):
+        """``time.sleep`` is not wall-clock (SIM002 ignores it) but it
+        still breaks seed-replay determinism on a fault path."""
+        result = _lint(tmp_path, """
+        import time
+
+        def backoff():
+            time.sleep(0.01)
+        """, name="repro/faults/victim.py")
+        assert _rules(result) == ["SIM006"]
+
+    def test_unseeded_random_flagged_twice(self, tmp_path):
+        result = _lint(tmp_path, """
+        import random
+
+        def jitter():
+            return random.random()
+        """, name="repro/sdk/secure_channel.py")
+        assert _rules(result) == ["SIM003", "SIM006"]
+
+    def test_seeded_generator_ctor_allowed(self, tmp_path):
+        result = _lint(tmp_path, """
+        import random
+
+        def make(seed):
+            return random.Random(seed)
+        """, name="repro/faults/plan.py")
+        assert result.findings == []
+
+    def test_unseeded_ctor_flagged(self, tmp_path):
+        result = _lint(tmp_path, """
+        import random
+
+        def make():
+            return random.Random()
+        """, name="repro/faults/plan.py")
+        assert _rules(result) == ["SIM003", "SIM006"]
+
+    def test_same_code_outside_fault_modules_passes(self, tmp_path):
+        result = _lint(tmp_path, """
+        import time
+
+        def backoff():
+            time.sleep(0.01)
+        """)
+        assert result.findings == []
+
+    def test_recovery_path_prefixes_covered(self, tmp_path):
+        for name in ("repro/sdk/runtime.py", "repro/os/ipc.py"):
+            result = _lint(tmp_path, """
+            import time
+
+            def wait():
+                time.sleep(1)
+            """, name=name)
+            assert _rules(result) == ["SIM006"], name
+
+    def test_suppression_applies(self, tmp_path):
+        result = _lint(tmp_path, """
+        import time
+
+        def wait():
+            time.sleep(1)  # simlint: disable=SIM006
+        """, name="repro/faults/victim.py")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
 class TestSuppression:
     def test_disable_comment_silences_and_counts(self, tmp_path):
         result = _lint(tmp_path, """

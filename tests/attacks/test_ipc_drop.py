@@ -3,7 +3,9 @@
 import pytest
 
 from repro.attacks.ipc_drop import (BOGUS_CERT, run_over_nested_ring,
-                                    run_over_os_ipc, _verify_certificate)
+                                    run_over_os_ipc,
+                                    run_over_reliable_link,
+                                    _verify_certificate)
 from repro.core import NestedValidator
 from repro.core.channel import SharedRing
 from repro.os import Kernel
@@ -44,6 +46,30 @@ class TestOsIpcTransport:
         assert not outcome.check_executed
         assert outcome.app_accepted
         assert outcome.attack_succeeded
+
+
+class TestReliableLinkTransport:
+    def test_honest_os_check_runs_and_rejects(self):
+        machine, kernel = fresh()
+        outcome = run_over_reliable_link(machine, kernel)
+        assert outcome.check_executed
+        assert outcome.explicit_failure_seen
+        assert not outcome.attack_succeeded
+
+    def test_intermittent_drops_absorbed_by_resend(self):
+        machine, kernel = fresh()
+        outcome = run_over_reliable_link(machine, kernel, drop_first=2)
+        assert outcome.check_executed   # the retry got through
+        assert not outcome.attack_succeeded
+
+    def test_total_blackout_fails_closed(self):
+        """The drop attack degrades from silent bypass to a typed
+        timeout the application treats as failure."""
+        machine, kernel = fresh()
+        outcome = run_over_reliable_link(machine, kernel, drop_all=True)
+        assert not outcome.check_executed
+        assert not outcome.app_accepted   # no silence-is-consent
+        assert not outcome.attack_succeeded
 
 
 class TestNestedRingTransport:

@@ -1,0 +1,85 @@
+"""FaultPlan/FaultSpec: seeded generation, validation, JSON identity."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_memory_kinds_accepted(self):
+        for kind in ("aex", "evict", "bitflip"):
+            assert FaultSpec(kind=kind, at=5).kind == kind
+
+    def test_ipc_needs_action(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="ipc", at=3)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="ipc", at=3, action="explode")
+
+    def test_memory_kind_takes_no_action(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="aex", at=3, action="drop")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor", at=3)
+
+    def test_trigger_point_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="aex", at=0)
+
+    def test_flip_mask_must_be_a_nonzero_byte(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="bitflip", at=3, flip_mask=0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="bitflip", at=3, flip_mask=256)
+
+    def test_malicious_classification(self):
+        assert FaultSpec(kind="bitflip", at=3).malicious
+        assert FaultSpec(kind="ipc", at=3, action="drop").malicious
+        assert not FaultSpec(kind="aex", at=3).malicious
+        assert not FaultSpec(kind="ipc", at=3, action="dup").malicious
+
+
+class TestFaultPlan:
+    def test_seeded_generation_is_deterministic(self):
+        assert FaultPlan.benign(5) == FaultPlan.benign(5)
+        assert FaultPlan.bitflip(9) == FaultPlan.bitflip(9)
+        assert FaultPlan.benign(5) != FaultPlan.benign(6)
+
+    def test_benign_plans_are_benign(self):
+        for seed in range(1, 30):
+            plan = FaultPlan.benign(seed)
+            assert not plan.malicious
+            assert not plan.has_bitflip
+            assert len(plan.faults) == 7
+
+    def test_bitflip_plans_are_malicious(self):
+        plan = FaultPlan.bitflip(1)
+        assert plan.malicious and plan.has_bitflip
+        assert len(plan.faults) == 1
+
+    def test_json_round_trip_is_identity(self):
+        for plan in (FaultPlan.benign(3), FaultPlan.bitflip(3),
+                     FaultPlan(seed=0, faults=(), note="empty")):
+            assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_json_is_stable_text(self):
+        # Replay files diff cleanly: sorted keys, trailing newline.
+        text = FaultPlan.benign(1).to_json()
+        assert text == FaultPlan.from_json(text).to_json()
+        assert text.endswith("\n")
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"schema": 99, "seed": 1})
+
+    def test_fault_queries_sorted_by_trigger(self):
+        plan = FaultPlan(seed=0, faults=(
+            FaultSpec(kind="aex", at=900),
+            FaultSpec(kind="ipc", at=7, action="dup"),
+            FaultSpec(kind="evict", at=100),
+            FaultSpec(kind="ipc", at=2, action="delay"),
+        ))
+        assert [s.at for s in plan.memory_faults()] == [100, 900]
+        assert [s.at for s in plan.ipc_faults()] == [2, 7]

@@ -1,0 +1,116 @@
+"""EnclaveHandle.ecall recovery: bounded retries with simulated-time
+backoff, and the unwind discipline that keeps the core sane."""
+
+import pytest
+
+from repro.core import NestedValidator, audit_machine
+from repro.errors import PageFault, SdkError, TcsBusy
+from repro.os import Kernel
+from repro.perf.costmodel import ECALL_RETRY_BACKOFF_NS
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sdk.runtime import ECALL_MAX_ATTEMPTS
+from repro.sgx import Machine, isa
+from repro.sgx.constants import PAGE_SIZE, SmallMachineConfig
+
+EDL = """
+enclave {
+    trusted {
+        public int read_u64(int addr);
+        public int write_u64(int addr, int value);
+        public int boom(void);
+    };
+};
+"""
+
+
+def read_u64(ctx, addr):
+    return int.from_bytes(ctx.read(addr, 8), "little")
+
+
+def write_u64(ctx, addr, value):
+    ctx.write(addr, value.to_bytes(8, "little"))
+    return 0
+
+
+def boom(ctx):
+    raise ValueError("application bug inside the enclave")
+
+
+@pytest.fixture
+def world():
+    machine = Machine(SmallMachineConfig(num_cores=4),
+                      validator_cls=NestedValidator)
+    kernel = Kernel(machine)
+    host = EnclaveHost(machine, kernel)
+    builder = EnclaveBuilder("svc", parse_edl(EDL),
+                             signing_key=developer_key("svc"),
+                             heap_bytes=4 * PAGE_SIZE)
+    builder.add_entry("read_u64", read_u64)
+    builder.add_entry("write_u64", write_u64)
+    builder.add_entry("boom", boom)
+    handle = host.load(builder.build())
+    return machine, kernel, host, handle
+
+
+class TestTcsBusyRetry:
+    def test_exhausted_tcs_retries_then_raises(self, world):
+        machine, kernel, host, handle = world
+        # Park every TCS busy from other cores so no retry can win.
+        parked = []
+        for i in range(2, 4):
+            try:
+                tcs = handle.idle_tcs()
+            except SdkError:
+                break
+            core = machine.cores[i]
+            core.address_space = host.proc.space
+            isa.eenter(machine, core, handle.secs, tcs)
+            parked.append(core)
+        with pytest.raises((TcsBusy, SdkError)):
+            while True:  # occupy any remaining TCSes, then fail
+                tcs = handle.idle_tcs()
+                isa.eenter(machine, machine.cores[1], handle.secs, tcs)
+        t0 = machine.cost.breakdown.get("ecall_backoff", 0.0)
+        with pytest.raises(SdkError):
+            handle.ecall("read_u64", handle.heap.base)
+        # Backoff charged between attempts, not after the last one.
+        spent = machine.cost.breakdown["ecall_backoff"] - t0
+        assert spent == (ECALL_MAX_ATTEMPTS - 1) * ECALL_RETRY_BACKOFF_NS
+
+
+class TestEvictedPageRefault:
+    def test_transparent_reload_charges_one_backoff(self, world):
+        machine, kernel, host, handle = world
+        target = (handle.heap.base & ~(PAGE_SIZE - 1)) + PAGE_SIZE
+        handle.ecall("write_u64", target, 0xABCD)
+        machine.flush_all_tlbs()
+        kernel.driver.evict_page(handle.secs, target)
+        before = machine.cost.breakdown.get("ecall_backoff", 0.0)
+        assert handle.ecall("read_u64", target) == 0xABCD
+        spent = machine.cost.breakdown["ecall_backoff"] - before
+        assert spent == ECALL_RETRY_BACKOFF_NS
+        assert not host.core.in_enclave_mode
+        assert audit_machine(machine) == []
+
+    def test_unresolvable_fault_is_not_retried(self, world):
+        """A #PF the driver cannot fix (no evicted blob for that page)
+        propagates immediately — no backoff, no spin."""
+        machine, kernel, host, handle = world
+        before = machine.cost.breakdown.get("ecall_backoff", 0.0)
+        with pytest.raises(PageFault):
+            handle.ecall("read_u64", 0x10)  # far outside any mapping
+        assert machine.cost.breakdown.get("ecall_backoff", 0.0) == before
+        assert not host.core.in_enclave_mode
+
+
+class TestUnwind:
+    def test_application_exception_unwinds_and_propagates(self, world):
+        machine, kernel, host, handle = world
+        with pytest.raises(ValueError):
+            handle.ecall("boom")
+        assert not host.core.in_enclave_mode
+        assert host.core.enclave_stack == []
+        # The TCS is idle again: the next call reuses it cleanly.
+        handle.ecall("write_u64", handle.heap.base, 7)
+        assert handle.ecall("read_u64", handle.heap.base) == 7
+        assert audit_machine(machine) == []

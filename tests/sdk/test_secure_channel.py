@@ -6,7 +6,8 @@ from repro.errors import ChannelError, CryptoError
 from repro.os import Kernel
 from repro.os.malicious import (DroppingIpcRouter, ForgingIpcRouter,
                                 ReplayingIpcRouter, install_router)
-from repro.sdk.secure_channel import GcmChannel, paired_channels
+from repro.sdk.secure_channel import (REORDER_WINDOW, GcmChannel,
+                                      paired_channels)
 from repro.sgx.constants import SmallMachineConfig
 from repro.sgx.machine import Machine
 
@@ -84,7 +85,9 @@ class TestAttackers:
         with pytest.raises(ChannelError):
             rx.recv()  # sequence number already consumed
 
-    def test_reordering_detected(self, world):
+    def test_reordering_absorbed_within_window(self, world):
+        """An OS-swapped queue is healed by the reorder stash: the
+        receiver still sees the stream in sequence order."""
         machine, kernel = world
         kernel.ipc.create_port("p")
         tx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
@@ -94,6 +97,18 @@ class TestAttackers:
         # OS swaps the queue order.
         queue = kernel.ipc._ports["p"]
         queue.rotate(1)
+        assert rx.recv() == b"first"
+        assert rx.recv() == b"second"
+
+    def test_reordering_beyond_window_detected(self, world):
+        """A message running past the reorder window is a corrupt or
+        hostile stream, not a stashable straggler."""
+        machine, kernel = world
+        kernel.ipc.create_port("p")
+        tx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        rx = GcmChannel(machine, kernel.ipc, "p", bytes(16))
+        tx._send_seq = REORDER_WINDOW + 1
+        tx.send(b"from the far future")
         with pytest.raises(ChannelError):
             rx.recv()
 

@@ -1,0 +1,143 @@
+"""AEX/ERESUME across a *nested* entry (§IV-B): one asynchronous exit
+must park and restore the full outer→inner context chain through the
+bottom TCS's save area, with the bookkeeping to prove it."""
+
+import pytest
+
+from repro.core import NestedValidator, audit_machine, nested_isa
+from repro.errors import GeneralProtectionFault
+from repro.os import Kernel
+from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
+from repro.sgx import Machine, isa
+from repro.sgx.constants import TCS_ACTIVE, TCS_IDLE, SmallMachineConfig
+
+EMPTY_EDL = """
+enclave {
+    trusted {
+        public int noop(void);
+    };
+};
+"""
+
+
+@pytest.fixture
+def world():
+    machine = Machine(SmallMachineConfig(num_cores=2),
+                      validator_cls=NestedValidator)
+    host = EnclaveHost(machine, Kernel(machine))
+    key = developer_key("aex-nested")
+    outer_builder = EnclaveBuilder("outer", parse_edl(EMPTY_EDL),
+                                   signing_key=key)
+    outer_builder.add_entry("noop", lambda ctx: 0)
+    outer_probe = outer_builder.build()
+    inner_builder = EnclaveBuilder("inner", parse_edl(EMPTY_EDL),
+                                   signing_key=key)
+    inner_builder.add_entry("noop", lambda ctx: 0)
+    inner_builder.expect_peer(outer_probe.sigstruct.expected_mrenclave,
+                              outer_probe.sigstruct.mrsigner)
+    inner_image = inner_builder.build()
+    outer_builder.expect_peer(inner_image.sigstruct.expected_mrenclave,
+                              inner_image.sigstruct.mrsigner)
+    outer = host.load(outer_builder.build())
+    inner = host.load(inner_image)
+    host.associate(inner, outer)
+    return machine, host, outer, inner
+
+
+def _enter_nested(machine, core, outer, inner):
+    """EENTER the outer, NEENTER the inner; returns both TCS vaddrs."""
+    outer_tcs = outer.idle_tcs()
+    isa.eenter(machine, core, outer.secs, outer_tcs)
+    inner_tcs = inner.idle_tcs()
+    nested_isa.neenter(machine, core, inner.secs, inner_tcs)
+    return outer_tcs, inner_tcs
+
+
+class TestNestedAex:
+    def test_aex_parks_the_full_chain_in_the_bottom_tcs(self, world):
+        machine, host, outer, inner = world
+        core = machine.cores[1]
+        core.address_space = host.proc.space
+        outer_tcs, inner_tcs = _enter_nested(machine, core, outer, inner)
+        core.registers["rax"] = 0x1DEA
+        assert core.enclave_stack == [outer.secs.eid, inner.secs.eid]
+
+        isa.aex(machine, core)
+
+        assert not core.in_enclave_mode
+        assert core.enclave_stack == [] and core.tcs_stack == []
+        assert core.registers["rax"] == 0  # scrubbed at the boundary
+        root = machine.tcs(outer.secs.eid, outer_tcs)
+        saved = root.saved_context
+        assert saved is not None
+        assert saved["enclave_stack"] == [outer.secs.eid, inner.secs.eid]
+        assert saved["tcs_stack"] == [outer_tcs, inner_tcs]
+        assert saved["registers"]["rax"] == 0x1DEA
+        # The *inner* TCS carries no save area of its own — the chain
+        # lives in the bottom frame, exactly once.
+        assert machine.tcs(inner.secs.eid, inner_tcs).saved_context \
+            is None
+        # Both TCSes stay ACTIVE while parked: the thread still owns
+        # them, and a second entry must keep bouncing off TcsBusy.
+        assert root.state == TCS_ACTIVE
+        assert machine.tcs(inner.secs.eid, inner_tcs).state == TCS_ACTIVE
+
+    def test_eresume_restores_chain_and_registers(self, world):
+        machine, host, outer, inner = world
+        core = machine.cores[1]
+        core.address_space = host.proc.space
+        outer_tcs, inner_tcs = _enter_nested(machine, core, outer, inner)
+        core.registers["rbx"] = 0xB00
+        isa.aex(machine, core)
+
+        isa.eresume(machine, core, outer.secs, outer_tcs)
+
+        assert core.enclave_stack == [outer.secs.eid, inner.secs.eid]
+        assert core.tcs_stack == [outer_tcs, inner_tcs]
+        assert core.current_eid == inner.secs.eid
+        assert core.registers["rbx"] == 0xB00
+        # The save area is consumed: a double ERESUME is architectural
+        # nonsense and must fault.
+        with pytest.raises(GeneralProtectionFault):
+            isa.eresume(machine, core, outer.secs, outer_tcs)
+        # Unwind cleanly and leave the machine audit-clean.
+        nested_isa.neexit(machine, core)
+        isa.eexit(machine, core)
+        assert machine.tcs(outer.secs.eid, outer_tcs).state == TCS_IDLE
+        assert audit_machine(machine) == []
+
+    def test_aex_count_bookkeeping_on_the_root_tcs(self, world):
+        machine, host, outer, inner = world
+        core = machine.cores[1]
+        core.address_space = host.proc.space
+        outer_tcs, inner_tcs = _enter_nested(machine, core, outer, inner)
+        root = machine.tcs(outer.secs.eid, outer_tcs)
+        inner_tcs_obj = machine.tcs(inner.secs.eid, inner_tcs)
+        assert root.aex_count == 0
+
+        for expected in (1, 2, 3):
+            isa.aex(machine, core)
+            assert root.aex_count == expected
+            # The count belongs to the bottom frame only.
+            assert inner_tcs_obj.aex_count == 0
+            isa.eresume(machine, core, outer.secs, outer_tcs)
+            assert core.enclave_stack == [outer.secs.eid,
+                                          inner.secs.eid]
+        nested_isa.neexit(machine, core)
+        isa.eexit(machine, core)
+        assert root.aex_count == 3  # survives a clean exit
+
+    def test_eresume_must_target_the_bottom_tcs(self, world):
+        """Resuming via the inner TCS is a protocol violation: the save
+        area lives in the bottom (outer) frame."""
+        machine, host, outer, inner = world
+        core = machine.cores[1]
+        core.address_space = host.proc.space
+        outer_tcs, inner_tcs = _enter_nested(machine, core, outer, inner)
+        isa.aex(machine, core)
+        with pytest.raises(GeneralProtectionFault):
+            isa.eresume(machine, core, inner.secs, inner_tcs)
+        isa.eresume(machine, core, outer.secs, outer_tcs)  # clean up
+        nested_isa.neexit(machine, core)
+        isa.eexit(machine, core)
+        assert audit_machine(machine) == []

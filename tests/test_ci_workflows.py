@@ -66,9 +66,9 @@ class TestTier1Gate:
         assert "push" in triggers
         assert "pull_request" in triggers
 
-    def test_four_separate_jobs(self):
+    def test_five_separate_jobs(self):
         assert set(_load("ci.yml")["jobs"]) == \
-            {"tests", "ruff", "analysis", "modelcheck"}
+            {"tests", "ruff", "analysis", "modelcheck", "chaos"}
 
     def test_python_matrix_is_39_and_312(self):
         tests = _load("ci.yml")["jobs"]["tests"]
@@ -106,6 +106,15 @@ class TestTier1Gate:
                    if "upload-sarif" in step.get("uses", "")]
         assert uploads, "analysis job must upload the SARIF report"
         assert analysis["permissions"]["security-events"] == "write"
+
+    def test_chaos_job_runs_seeded_fault_injection(self):
+        chaos = _load("ci.yml")["jobs"]["chaos"]
+        assert chaos["env"]["PYTHONPATH"] == "src"
+        assert chaos["env"]["REPRO_SKIP_HOST_BUDGET"] == "1"
+        assert any("python -m repro.runner" in run
+                   and "--chaos 3" in run
+                   for step in chaos["steps"]
+                   for run in [step.get("run", "")])
 
     def test_modelcheck_job_exhausts_default_scope(self):
         modelcheck = _load("ci.yml")["jobs"]["modelcheck"]
@@ -151,6 +160,16 @@ class TestNightlyPipeline:
         assert any("--check modelcheck" in run and "--scope deep" in run
                    for run in runs)
         assert any("--mutate all" in run for run in runs)
+
+    def test_deep_chaos_sweep_uploads_replayable_plans(self):
+        workflow = _load("nightly.yml")
+        chaos = workflow["jobs"]["chaos-deep"]
+        assert any("--chaos 20" in run and "--chaos-dir" in run
+                   for step in chaos["steps"]
+                   for run in [step.get("run", "")])
+        uploads = [step for step in chaos["steps"]
+                   if "upload-artifact" in step.get("uses", "")]
+        assert uploads and uploads[0].get("if") == "always()"
 
     def test_full_scale_is_opt_in(self):
         full = _load("nightly.yml")["jobs"]["full-suite"]

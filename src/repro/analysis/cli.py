@@ -4,6 +4,8 @@ Examples::
 
     python -m repro.analysis                      # default passes, text
     python -m repro.analysis sim taint            # a subset
+    python -m repro.analysis --only simlint       # exactly one pass
+    python -m repro.analysis --only orderliness   # transition-log replay
     python -m repro.analysis --check modelcheck   # bounded model checker
     python -m repro.analysis --check modelcheck --scope deep
     python -m repro.analysis --mutate all         # mutation kill-list
@@ -29,6 +31,17 @@ from repro.analysis.findings import (AnalysisError, load_baseline,
 from repro.analysis.runner import EXTRA_CHECKS, PASSES, run_repo_analysis
 from repro.analysis.sarif import render_sarif
 
+#: ``--only`` accepts the user-facing pass names (and the short internal
+#: ones) and maps each to its runner pass.
+ONLY_ALIASES = {
+    "edl": "edl",
+    "sim": "sim",
+    "simlint": "sim",
+    "taint": "taint",
+    "modelcheck": "modelcheck",
+    "orderliness": "orderliness",
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -39,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("passes", nargs="*", metavar="pass",
                         help=f"subset of passes to run ({', '.join(PASSES)}; "
                              "default: all)")
+    parser.add_argument("--only", default=None, metavar="NAME",
+                        choices=sorted(ONLY_ALIASES),
+                        help="run exactly one pass or check "
+                             f"({', '.join(sorted(ONLY_ALIASES))}); "
+                             "mutually exclusive with positional passes "
+                             "and --check")
     parser.add_argument("--check", action="append", default=[],
                         metavar="NAME", dest="checks",
                         help="run a named check instead of the default "
@@ -103,7 +122,14 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.mutate is not None:
         return _run_mutate(args)
-    passes = tuple(args.passes) + tuple(args.checks)
+    if args.only is not None:
+        if args.passes or args.checks:
+            print("error: --only is mutually exclusive with positional "
+                  "passes and --check", file=sys.stderr)
+            return 2
+        passes = (ONLY_ALIASES[args.only],)
+    else:
+        passes = tuple(args.passes) + tuple(args.checks)
     if not passes:
         passes = PASSES
     try:

@@ -16,7 +16,7 @@ from repro.analysis.findings import AnalysisError, Report
 PASSES = ("edl", "sim", "taint")
 
 #: Opt-in checks accepted alongside PASSES.
-EXTRA_CHECKS = ("modelcheck",)
+EXTRA_CHECKS = ("modelcheck", "orderliness")
 
 
 def repo_root() -> Path:
@@ -44,6 +44,8 @@ def run_repo_analysis(root: Path | None = None,
             report.extend(taint.analyze_tree(package, src))
         elif name == "modelcheck":
             report.extend(_run_modelcheck_pass(modelcheck_scope))
+        elif name == "orderliness":
+            report.extend(_run_orderliness_pass())
         else:
             raise AnalysisError(
                 f"unknown pass {name!r}; choose from "
@@ -63,3 +65,11 @@ def _run_modelcheck_pass(scope: str) -> Report:
             f"{', '.join(sorted(modelcheck.SCOPES))}")
     result = modelcheck.run_modelcheck(scope)
     return Report(findings=list(result.findings), passes=["modelcheck"])
+
+
+def _run_orderliness_pass() -> Report:
+    # Lazy for the same reason as modelcheck: the pass replays the
+    # fingerprint workloads, which build full machines.
+    from repro.analysis import orderliness
+
+    return orderliness.run_orderliness()

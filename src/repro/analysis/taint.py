@@ -1,4 +1,4 @@
-"""Cross-boundary taint check (TAINT001/TAINT002).
+"""Cross-boundary taint check (TAINT001/TAINT002/TAINT003).
 
 The nested layouts exist to keep key material inside the inner enclave;
 an ``ocall`` argument, by construction, leaves enclave mode entirely.
@@ -32,7 +32,13 @@ Sinks
     runs the handler.  (``n_ocall`` lands in the *outer enclave*, a
     trusted sibling, and is deliberately not a sink; moving secrets to
     the outer enclave is a layout decision the EDL linter's EDL003
-    rule covers instead.)
+    rule covers instead.)  Arguments of ``*.log_transition(…)`` and
+    ``*.transitions.record(…)`` are a second sink class (``TAINT003``):
+    transition-log payloads are folded into digests that the runner
+    ships in results documents and CI artifacts, i.e. they leave the
+    trust boundary just as surely as an ocall argument does.  The
+    TAINT003 sweep additionally covers the instrumented ISA modules
+    (:mod:`repro.sgx.isa`, :mod:`repro.core.nested_isa`).
 
 The propagation is a fixpoint over per-function summaries: for every
 module-level function we learn (a) which parameters flow to its return
@@ -53,7 +59,7 @@ from repro.analysis.edl_lint import scan_edl_constants
 from repro.analysis.findings import Finding, Report
 from repro.analysis.pysource import Module, iter_modules, load_module
 
-RULES = ("TAINT001", "TAINT002")
+RULES = ("TAINT001", "TAINT002", "TAINT003")
 
 _SECRET_NAME_RE = re.compile(
     r"(^|_)(key|keys|psk|secret\w*|priv\w*)($|_)", re.IGNORECASE)
@@ -158,10 +164,15 @@ class _FunctionAnalysis(ast.NodeVisitor):
                 sink = summary.param_to_sink.get(index)
                 if sink is not None:
                     sink_line, sink_rule = sink
-                    arg_labels = self.taint_of(arg)
+                    # Only *secret* labels indict the caller: a plain
+                    # param label here means some further caller's value
+                    # reaches the sink, which is that caller's report.
+                    arg_labels = frozenset(
+                        label for label in self.taint_of(arg)
+                        if not label.startswith("param:"))
                     if arg_labels:
                         self._report(node, arg_labels, rule=sink_rule,
-                                     via=f"{name}() → ocall at line "
+                                     via=f"{name}() → sink at line "
                                          f"{sink_line}")
             return frozenset(labels)
         # Unknown callee: be conservative, taint flows through (the
@@ -235,9 +246,40 @@ class _FunctionAnalysis(ast.NodeVisitor):
         self.taint_of(expr)
         for node in ast.walk(expr):
             if isinstance(node, ast.Call) \
-                    and isinstance(node.func, ast.Attribute) \
-                    and node.func.attr == "ocall":
-                self._check_sink(node)
+                    and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "ocall":
+                    self._check_sink(node)
+                elif self._is_transition_sink(node.func):
+                    self._check_transition_sink(node)
+
+    @staticmethod
+    def _is_transition_sink(func: ast.Attribute) -> bool:
+        """``*.log_transition(…)`` or ``*.transitions.record(…)``."""
+        if func.attr == "log_transition":
+            return True
+        return (func.attr == "record"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "transitions")
+
+    def _check_transition_sink(self, node: ast.Call) -> None:
+        # First positional argument is the event kind, not data.
+        payload = node.args[1:] + [k.value for k in node.keywords]
+        label_to_param = {label: index
+                          for index, pname in enumerate(self.param_names)
+                          for label in self.param_labels[pname]}
+        for arg in payload:
+            labels = self.taint_of(arg)
+            if not labels:
+                continue
+            secret = {label for label in labels
+                      if not label.startswith("param:")}
+            if secret:
+                self._report(node, frozenset(secret), rule="TAINT003")
+            for label in labels:
+                index = label_to_param.get(label)
+                if index is not None:
+                    self.summary.param_to_sink.setdefault(
+                        index, (node.lineno, "TAINT003"))
 
     def _check_sink(self, node: ast.Call) -> None:
         # First positional argument is the interface name, not data.
@@ -286,6 +328,10 @@ class _FunctionAnalysis(ast.NodeVisitor):
                      else "an EDL-declared untrusted out-parameter")
             message = (f"key material ({origin}) flows into {where} "
                        "and leaves enclave mode")
+        elif rule == "TAINT003":
+            message = (f"key material ({origin}) flows into a "
+                       "transition-log event payload, which is digested "
+                       "into exported results")
         else:
             message = (f"key material ({origin}) flows into an ocall "
                        "argument and leaves enclave mode")
@@ -374,16 +420,18 @@ def analyze_ports(ports_dir: Path, root: Path) -> Report:
 
 
 def analyze_tree(package_dir: Path, root: Path) -> Report:
-    """Sweep every module that forms or forwards the ocall boundary:
+    """Sweep every module that forms or forwards the ocall boundary —
     the ports, the miniSSL app, and the SDK's runtime / secure-channel
-    layers."""
+    layers — plus the transition-log-instrumented ISA modules (the
+    TAINT003 surface)."""
     report = Report(passes=["taint"])
     targets: list[Module] = []
     for sub in ("apps/ports", "apps/minissl"):
         directory = package_dir / sub
         if directory.is_dir():
             targets.extend(iter_modules(directory, root))
-    for rel in ("sdk/runtime.py", "sdk/secure_channel.py"):
+    for rel in ("sdk/runtime.py", "sdk/secure_channel.py",
+                "sgx/isa.py", "core/nested_isa.py"):
         file = package_dir / rel
         if file.is_file():
             targets.append(load_module(file, root))

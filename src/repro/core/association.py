@@ -98,6 +98,7 @@ def nasso(machine: Machine, inner: Secs, outer: Secs, *,
     machine.cost.charge_event("nasso")
     machine.trace("NASSO", None, inner=hex(inner.eid),
                   outer=hex(outer.eid))
+    machine.log_transition("NASSO", eid=inner.eid, outer=outer.eid)
 
 
 def disassociate(machine: Machine, inner: Secs, outer: Secs) -> None:

@@ -61,6 +61,9 @@ def neenter(machine: Machine, core: Core, inner: Secs,
     core.tcs_stack.append(tcs_vaddr)
     machine.trace("NEENTER", core.core_id, inner=hex(inner.eid),
                   outer=hex(current_eid))
+    machine.log_transition("NEENTER", core.core_id, eid=inner.eid,
+                           tcs=tcs_vaddr, depth=len(core.enclave_stack),
+                           outer=current_eid)
     # Call-level cost/counters (Table II) are charged by the SDK runtime.
     return tcs
 
@@ -84,6 +87,8 @@ def neexit(machine: Machine, core: Core) -> None:
     core.flush_tlb()
     core.scrub_registers()
     machine.trace("NEEXIT", core.core_id, inner=hex(inner_eid))
+    machine.log_transition("NEEXIT", core.core_id, eid=inner_eid,
+                           tcs=tcs_vaddr, depth=len(core.enclave_stack))
 
 
 def neexit_call(machine: Machine, core: Core, outer: Secs,
@@ -114,6 +119,9 @@ def neexit_call(machine: Machine, core: Core, outer: Secs,
     tcs.state = TCS_ACTIVE
     core.enclave_stack.append(outer.eid)
     core.tcs_stack.append(tcs_vaddr)
+    machine.log_transition("NEEXIT_CALL", core.core_id, eid=outer.eid,
+                           tcs=tcs_vaddr, depth=len(core.enclave_stack),
+                           caller=inner.eid)
     return tcs
 
 
@@ -133,6 +141,8 @@ def neexit_return(machine: Machine, core: Core) -> None:
     tcs_vaddr = core.tcs_stack.pop()
     machine.tcs(outer_eid, tcs_vaddr).state = TCS_IDLE
     core.flush_tlb()
+    machine.log_transition("NEEXIT_RETURN", core.core_id, eid=outer_eid,
+                           tcs=tcs_vaddr, depth=len(core.enclave_stack))
 
 
 @dataclass(frozen=True)
@@ -169,6 +179,8 @@ def nereport(machine: Machine, core: Core, target_mrenclave: bytes,
     if not core.in_enclave_mode:
         raise GeneralProtectionFault("NEREPORT outside enclave mode")
     secs = machine.enclave(core.current_eid)
+    machine.log_transition("NEREPORT", core.core_id, eid=secs.eid,
+                           depth=len(core.enclave_stack))
     outers = tuple(
         (machine.enclave(eid).mrenclave, machine.enclave(eid).mrsigner)
         for eid in secs.outer_eids)

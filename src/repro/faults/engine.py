@@ -180,11 +180,16 @@ class FaultEngine:
         machine = self.machine
         perf = self._perf_capture()
         tlb = self._tlb_capture(core)
+        log_mark = machine.transitions.mark()
         root_eid = core.enclave_stack[0]
         root_tcs_vaddr = core.tcs_stack[0]
         isa.aex(machine, core)
         isa.eresume(machine, core, machine.enclave(root_eid),
                     root_tcs_vaddr)
+        # The injected AEX/ERESUME pair is a transparency bubble: roll
+        # its events out of the transition log so the log digest of a
+        # benign-faulted run is byte-identical to the fault-free run.
+        machine.transitions.rollback(log_mark)
         self._tlb_restore(core, tlb)
         self._perf_restore(perf)
         return True
@@ -219,6 +224,7 @@ class FaultEngine:
         tlbs = [self._tlb_capture(c) for c in machine.cores]
         stacks = [(list(c.enclave_stack), list(c.tcs_stack))
                   for c in machine.cores]
+        log_mark = machine.transitions.mark()
         driver.evict_page(entry.secs, vaddr)
         interrupted = driver._interrupted
         driver.reload_page(entry.secs, vaddr)
@@ -239,6 +245,10 @@ class FaultEngine:
             machine.epcm.clear(va_new.frame)
             machine.epc_alloc.free(va_new.frame)
             driver._va = va_before
+        # Transparency bubble (see _inject_aex): the EVICT/EWB/RELOAD/
+        # ELDB round trip and any AEX/ERESUME it forced must not leave
+        # transition-log events behind.
+        machine.transitions.rollback(log_mark)
         for core, snapshot in zip(machine.cores, tlbs):
             self._tlb_restore(core, snapshot)
         machine.llc.restore(llc)

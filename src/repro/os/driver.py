@@ -136,6 +136,8 @@ class SgxDriver:
         del entry.resident[vaddr]
         entry.evicted[vaddr] = blob
         entry.proc.space.mark_not_present(vaddr)
+        self.machine.log_transition("EVICT", eid=secs.eid, vaddr=vaddr,
+                                    interrupted=len(interrupted))
         # The interrupted threads' contexts stay parked in their TCSes;
         # the runtime resumes them via ERESUME when it next runs them.
         self._interrupted = interrupted
@@ -149,6 +151,7 @@ class SgxDriver:
         frame = eviction.eldb(self.machine, blob, self._va)
         entry.resident[vaddr] = frame
         entry.proc.space.mark_present(vaddr, frame)
+        self.machine.log_transition("RELOAD", eid=secs.eid, vaddr=vaddr)
 
     def handle_page_fault(self, secs: Secs, fault_vaddr: int) -> bool:
         """OS #PF handler: reload if this is one of ours. True if fixed."""

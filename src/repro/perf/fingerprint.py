@@ -137,9 +137,17 @@ def _wl_gcm_channel() -> Machine:
     return host.machine
 
 
-def _nested_pair():
+def nested_pair(**config_overrides):
     """An outer enclave with one associated inner, with entries that
-    exercise heap traffic, every nested call kind, and AEX/ERESUME."""
+    exercise heap traffic, every nested call kind, and AEX/ERESUME.
+
+    Public because the differential fuzzer
+    (:mod:`repro.analysis.difffuzz`) drives the same constellation under
+    random schedules — ``config_overrides`` pass through to
+    :class:`~repro.sgx.constants.MachineConfig` (e.g.
+    ``reference_paths=True`` for the reference replay).
+    Returns ``(host, outer, inner)``.
+    """
     from repro.experiments.common import nested_host
     from repro.sdk import EnclaveBuilder, parse_edl
     from repro.sdk.builder import developer_key
@@ -182,7 +190,7 @@ def _nested_pair():
         isa.eresume(machine, ctx.core, secs, tcs)
         return peek(ctx, offset)
 
-    host = nested_host(mee_bytes=True)
+    host = nested_host(mee_bytes=True, **config_overrides)
     key = developer_key("fingerprint")
     outer_builder = EnclaveBuilder(
         "fp-outer", parse_edl(_OUTER_EDL, name="fp-outer"),
@@ -213,7 +221,7 @@ def _nested_pair():
 def _wl_transitions() -> Machine:
     """Transition storm: ecall/ocall/n_ecall/n_ocall plus AEX/ERESUME,
     interleaved with heap traffic so the flush discipline is visible."""
-    host, outer, inner = _nested_pair()
+    host, outer, inner = nested_pair()
     for i in range(16):
         outer.ecall("poke", 8 * i, i * 0x1111)
     for _ in range(4):
@@ -228,7 +236,7 @@ def _wl_eviction_pressure() -> Machine:
     is associated: EWB/ELDB, IPIs, version arrays, shootdown flushes."""
     from repro.sgx.constants import PAGE_SIZE
 
-    host, outer, inner = _nested_pair()
+    host, outer, inner = nested_pair()
     driver = host.kernel.driver
     for page in range(4):
         outer.ecall("poke", page * PAGE_SIZE, 0xBEEF00 + page)
@@ -257,6 +265,29 @@ def compute_fingerprints() -> dict[str, str]:
             for name, build in WORKLOADS.items()}
 
 
+def transition_digest(machine: Machine) -> str:
+    """Canonical digest of the machine's transition event log.
+
+    The companion observable to :func:`machine_fingerprint`: where that
+    folds *how much* simulated work happened, this folds the exact
+    *sequence* of lifecycle/transition/AEX/eviction events the run
+    performed (see :mod:`repro.sgx.transitions`).  The runner ships it
+    per experiment, chaos mode asserts benign-fault invariance over it,
+    and the differential fuzzer diffs it between the fast and reference
+    memory paths.
+    """
+    return machine.transitions.digest()
+
+
+def compute_transition_digests() -> dict[str, str]:
+    """Run every fixed workload on a fresh machine; return the digest of
+    each machine's transition log."""
+    return {name: transition_digest(build())
+            for name, build in WORKLOADS.items()}
+
+
 if __name__ == "__main__":  # pragma: no cover - regeneration helper
     for _name, _digest in compute_fingerprints().items():
         print(f"{_name}: {_digest}")
+    for _name, _digest in compute_transition_digests().items():
+        print(f"{_name} [transitions]: {_digest}")

@@ -8,8 +8,9 @@ three ways and checks the headline robustness property end to end:
    (AEX preemptions, forced evict/reload round trips, IPC delay/
    duplicate/reorder).  Benign faults must be *result-transparent*:
    every experiment must still pass AND reproduce the baseline's
-   ``result_fingerprint`` byte for byte.  Any drift means a fault
-   bubble leaked simulated time, a counter, or a value.
+   ``result_fingerprint`` and transition-log digest byte for byte.
+   Any drift means a fault bubble leaked simulated time, a counter, a
+   value, or stray transition events.
 3. **One malicious suite** — a :meth:`FaultPlan.bitflip` plan that
    flips a DRAM bit under an enclave-owned cache line.  Every
    experiment must either finish untouched (fingerprint match — the
@@ -88,6 +89,8 @@ def run_chaos(names: "list[str]", *, full: bool = False,
         return report
     base_fp = {name: outcome.fingerprint
                for name, outcome in baseline.outcomes.items()}
+    base_td = {name: outcome.transition_digest
+               for name, outcome in baseline.outcomes.items()}
 
     for seed in range(1, chaos + 1):
         plan = FaultPlan.benign(seed)
@@ -107,6 +110,12 @@ def run_chaos(names: "list[str]", *, full: bool = False,
                     f"plan seed={seed} ({outcome.fingerprint} != "
                     f"{base_fp[name]}) — a fault bubble leaked "
                     f"simulated state")
+            elif outcome.transition_digest != base_td[name]:
+                bad.append(
+                    f"{name}: transition digest drifted under benign "
+                    f"plan seed={seed} ({outcome.transition_digest} != "
+                    f"{base_td[name]}) — an injection left transition "
+                    f"events behind (rollback bubble leaked)")
         if bad:
             _save_plan(report, chaos_dir, f"benign-seed{seed}", plan)
             report.problems.extend(bad)

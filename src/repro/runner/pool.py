@@ -30,6 +30,7 @@ from typing import Callable, Optional
 from repro.experiments import registry as reg
 from repro.perf import wallclock
 from repro.perf.fingerprint import result_fingerprint
+from repro.sgx import transitions
 
 #: Seconds the parent waits in one poll round before re-checking
 #: deadlines; bounds budget-enforcement latency, not throughput.
@@ -44,8 +45,16 @@ MAX_ATTEMPTS = 2
 
 
 def _worker_main(name: str, full: bool, conn) -> None:
-    """Run one experiment and ship ``(kind, payload, host_s)`` back."""
+    """Run one experiment and ship ``(kind, payload, host_s)`` back.
+
+    An ``ok`` payload is ``{"result": …, "transition_digest": …}``: the
+    worker wraps the run in a transition-log session, so every machine
+    the experiment builds contributes its event log to one canonical
+    digest — the per-experiment determinism observable the chaos
+    harness and the ``-j1``/``-jN`` identity tests compare.
+    """
     watch = wallclock.Stopwatch()
+    transitions.begin_session()
     try:
         with watch:
             result = reg.run_experiment(name, full)
@@ -55,7 +64,9 @@ def _worker_main(name: str, full: bool, conn) -> None:
     except Exception:  # simlint: disable=SIM004
         conn.send(("error", traceback.format_exc(), watch.elapsed_s))
     else:
-        conn.send(("ok", result.to_dict(), watch.elapsed_s))
+        conn.send(("ok", {"result": result.to_dict(),
+                          "transition_digest": transitions.end_session()},
+                   watch.elapsed_s))
     finally:
         conn.close()
 
@@ -68,6 +79,7 @@ class Outcome:
     status: str                      # "ok" | "failed" | "timeout"
     result: Optional[dict] = None    # ExperimentResult.to_dict()
     fingerprint: Optional[str] = None
+    transition_digest: Optional[str] = None
     error: Optional[str] = None
     attempts: int = 1
     host_s: float = 0.0              # last attempt, worker-measured
@@ -239,9 +251,11 @@ def run_suite(names: Optional[list] = None, *, full: bool = False,
                     if kind == "ok":
                         say(f"{name}: ok in {host_s:.1f}s host "
                             f"(attempt {live.attempts})")
+                        result = payload["result"]
                         settle(name, live, Outcome(
-                            name=name, status="ok", result=payload,
-                            fingerprint=result_fingerprint(payload),
+                            name=name, status="ok", result=result,
+                            fingerprint=result_fingerprint(result),
+                            transition_digest=payload["transition_digest"],
                             host_s=host_s))
                     else:
                         retry_or(name, live, Outcome(

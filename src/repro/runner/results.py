@@ -50,6 +50,7 @@ def build_document(run) -> dict:
         if outcome.result is not None:
             entry["result"] = outcome.result
             entry["fingerprint"] = outcome.fingerprint
+            entry["transition_digest"] = outcome.transition_digest
         if outcome.error is not None:
             entry["error"] = outcome.error
         experiments.append(entry)

@@ -66,6 +66,13 @@ class Core:
         self._mc_vpn1 = -1
         self._mc_entry1: TlbEntry | None = None
         self._mc_gen = -1
+        # Reference mode: keep the micro-cache permanently dead (the
+        # generation stamp can never reach -2 and misses skip the
+        # refill), so every translation takes the full Tlb.lookup path —
+        # which charges the identical tlb_hit cost and counter.
+        self._reference = machine.config.reference_paths
+        if self._reference:
+            self._mc_gen = -2
         # Hot-path aliases (see Machine.__init__: these objects are never
         # rebound, and Counters.reset clears the slot list in place).
         self._slots = machine.counters.slots
@@ -177,15 +184,16 @@ class Core:
         # Refill the micro-cache: the new entry is now the TLB's MRU; the
         # previous slot-0 entry (MRU before this fill) is second-MRU iff
         # it survived — lookup never evicts, insert may (capacity 1).
-        self._mc_vpn = vpn
-        self._mc_entry = entry
-        if prev_vpn >= 0 and prev_vpn in tlb._entries:
-            self._mc_vpn1 = prev_vpn
-            self._mc_entry1 = prev_entry
-        else:
-            self._mc_vpn1 = -1
-            self._mc_entry1 = None
-        self._mc_gen = tlb.generation
+        if not self._reference:
+            self._mc_vpn = vpn
+            self._mc_entry = entry
+            if prev_vpn >= 0 and prev_vpn in tlb._entries:
+                self._mc_vpn1 = prev_vpn
+                self._mc_entry1 = prev_entry
+            else:
+                self._mc_vpn1 = -1
+                self._mc_entry1 = None
+            self._mc_gen = tlb.generation
         needed = PERM_W if write else PERM_R
         if not entry.perms & needed:
             kind = "write" if write else "read"

@@ -179,6 +179,7 @@ def ewb(machine: Machine, frame: int, va: VersionArray,
     machine.cost.charge_event("ewb_page")
     machine.trace("EWB", None, eid=hex(evicted.eid),
                   vaddr=hex(evicted.vaddr))
+    machine.log_transition("EWB", eid=evicted.eid, vaddr=evicted.vaddr)
     return evicted
 
 
@@ -211,6 +212,7 @@ def eldb(machine: Machine, evicted: EvictedPage,
     machine.cost.charge_event("eldb_page")
     machine.trace("ELDB", None, eid=hex(evicted.eid),
                   vaddr=hex(evicted.vaddr))
+    machine.log_transition("ELDB", eid=evicted.eid, vaddr=evicted.vaddr)
     return frame
 
 

@@ -59,6 +59,7 @@ def ecreate(machine: Machine, base_addr: int, size: int,
     log.ecreate(0, size)
     _MEASUREMENTS[secs.eid] = log
     machine.cost.charge_event("ecreate")
+    machine.log_transition("ECREATE", eid=secs.eid)
     return secs
 
 
@@ -128,6 +129,7 @@ def einit(machine: Machine, secs: Secs, sigstruct: Sigstruct) -> None:
     secs.expected_peer_digests = list(sigstruct.expected_peer_digests)
     secs.state = ST_INITIALIZED
     machine.cost.charge_event("einit")
+    machine.log_transition("EINIT", eid=secs.eid)
 
 
 def eremove(machine: Machine, secs: Secs) -> None:
@@ -149,6 +151,7 @@ def eremove(machine: Machine, secs: Secs) -> None:
         if outer and secs.eid in outer.inner_eids:
             outer.inner_eids.remove(secs.eid)
     _MEASUREMENTS.pop(secs.eid, None)
+    machine.log_transition("EREMOVE", eid=secs.eid)
 
 
 # ---------------------------------------------------------------------------
@@ -172,6 +175,8 @@ def eenter(machine: Machine, core: Core, secs: Secs,
     core.tcs_stack.append(tcs_vaddr)
     machine.trace("EENTER", core.core_id, eid=hex(secs.eid),
                   tcs=hex(tcs_vaddr))
+    machine.log_transition("EENTER", core.core_id, eid=secs.eid,
+                           tcs=tcs_vaddr, depth=len(core.enclave_stack))
     # Call-level cost/counters (Table II calibration) are charged by the
     # SDK runtime, which knows whether this EENTER begins an ecall or
     # completes an ocall round trip.
@@ -191,6 +196,8 @@ def eexit(machine: Machine, core: Core) -> None:
     core.flush_tlb()
     core.scrub_registers()
     machine.trace("EEXIT", core.core_id, eid=hex(eid))
+    machine.log_transition("EEXIT", core.core_id, eid=eid,
+                           tcs=tcs_vaddr, depth=len(core.enclave_stack))
 
 
 # ---------------------------------------------------------------------------
@@ -208,7 +215,9 @@ def aex(machine: Machine, core: Core) -> None:
     if not core.in_enclave_mode:
         raise GeneralProtectionFault("AEX outside enclave mode")
     root_eid = core.enclave_stack[0]
-    root_tcs = machine.tcs(root_eid, core.tcs_stack[0])
+    root_tcs_vaddr = core.tcs_stack[0]
+    root_tcs = machine.tcs(root_eid, root_tcs_vaddr)
+    parked = len(core.enclave_stack)
     root_tcs.saved_context = {
         "enclave_stack": list(core.enclave_stack),
         "tcs_stack": list(core.tcs_stack),
@@ -222,6 +231,8 @@ def aex(machine: Machine, core: Core) -> None:
     machine.counters.bump(ctr.AEX)
     machine.cost.charge_event("aex")
     machine.trace("AEX", core.core_id, root_eid=hex(root_eid))
+    machine.log_transition("AEX", core.core_id, eid=root_eid,
+                           tcs=root_tcs_vaddr, depth=0, parked=parked)
 
 
 def eresume(machine: Machine, core: Core, secs: Secs,
@@ -239,6 +250,8 @@ def eresume(machine: Machine, core: Core, secs: Secs,
     core.tcs_stack.extend(saved["tcs_stack"])
     core.registers.update(saved["registers"])
     machine.cost.charge_event("eresume")
+    machine.log_transition("ERESUME", core.core_id, eid=secs.eid,
+                           tcs=tcs_vaddr, depth=len(core.enclave_stack))
 
 
 # ---------------------------------------------------------------------------
@@ -273,6 +286,8 @@ def ereport(machine: Machine, core: Core, target_mrenclave: bytes,
     if not core.in_enclave_mode:
         raise GeneralProtectionFault("EREPORT outside enclave mode")
     secs = machine.enclave(core.current_eid)
+    machine.log_transition("EREPORT", core.core_id, eid=secs.eid,
+                           depth=len(core.enclave_stack))
     key = _report_key(machine, target_mrenclave)
     partial = Report(secs.mrenclave, secs.mrsigner, secs.isv_prod_id,
                      secs.isv_svn, report_data, b"")
@@ -285,6 +300,8 @@ def egetkey(machine: Machine, core: Core, key_type: str) -> bytes:
     if not core.in_enclave_mode:
         raise GeneralProtectionFault("EGETKEY outside enclave mode")
     secs = machine.enclave(core.current_eid)
+    machine.log_transition("EGETKEY", core.core_id, eid=secs.eid,
+                           depth=len(core.enclave_stack))
     if key_type == "report":
         return _report_key(machine, secs.mrenclave)
     if key_type == "seal":

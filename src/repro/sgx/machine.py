@@ -42,6 +42,7 @@ from repro.sgx.mee import Mee
 from repro.sgx.memory import EpcAllocator, PhysicalMemory
 from repro.sgx.paging import AddressSpace
 from repro.sgx.secs import Secs, Tcs
+from repro.sgx.transitions import TransitionLog, register as _register_log
 
 
 class Machine:
@@ -78,6 +79,20 @@ class Machine:
         self._dram_access_ns = self.cost._dram_access_ns
         self._mee_line_ns = self.cost._mee_line_ns
         self.validator = validator_cls(self)
+        #: First-class transition event log (ISSUE 6): every lifecycle/
+        #: transition/AEX/resume/EWB/ELDB leaf records here through
+        #: :meth:`log_transition`.  Recording charges nothing and bumps
+        #: no counter, so the golden machine fingerprints are untouched.
+        self.transitions = TransitionLog()
+        _register_log(self.transitions)
+        # Reference mode (config.reference_paths): rebind the memory-side
+        # accessors to the straightforward pre-fast-path implementations
+        # BEFORE cores are built — cores alias machine.memside_read/write
+        # at construction.  The differential fuzzer diffs fast vs
+        # reference runs, so the rebinding must be the only difference.
+        if self.config.reference_paths:
+            self.memside_read = self._reference_memside_read
+            self.memside_write = self._reference_memside_write
         self.cores = [Core(self, i) for i in range(self.config.num_cores)]
         self.enclaves: dict[int, Secs] = {}
         self.tcs_registry: dict[tuple[int, int], Tcs] = {}
@@ -102,6 +117,19 @@ class Machine:
         """Emit a structured trace event if a tracer is attached."""
         if self.tracer is not None:
             self.tracer.emit(self.clock.now_ns, kind, core_id, **details)
+
+    def log_transition(self, kind: str, core_id: int | None = None, *,
+                       eid: int = 0, tcs: int = 0, depth: int = 0,
+                       **extra) -> None:
+        """Record one transition event (the ISSUE 6 logging seam).
+
+        Unlike :meth:`trace` this is unconditional: the log is a
+        determinism observable, so it must have identical contents
+        whether or not anyone is watching.  It charges no simulated
+        cost.  Key material must never appear in ``extra`` — the log is
+        an untrusted-observable artifact (taint rule TAINT003).
+        """
+        self.transitions.record(kind, core_id, eid, tcs, depth, extra)
 
     # -- registries -----------------------------------------------------------
     def enclave(self, eid: int) -> Secs:
@@ -237,6 +265,25 @@ class Machine:
             frame[off:off + size] = data
             return
         phys.write(paddr, data)
+
+    # Reference memory-side path (config.reference_paths): the
+    # straightforward pre-optimization structure — delegate cost charging
+    # to _charge_lines, delegate byte movement to PhysicalMemory — with
+    # no inlining and no single-frame fast path.  Simulated behaviour
+    # must be bit-identical to the fused accessors above; the
+    # differential fuzzer (repro.analysis.difffuzz) enforces that.
+    def _reference_memside_read(self, paddr: int, size: int) -> bytes:
+        self._charge_lines(paddr, size, writeback=False)
+        if self._mee_bytes and self._prm_lo <= paddr < self._prm_hi:
+            return self._read_prm_plaintext(paddr, size)
+        return self.phys.read(paddr, size)
+
+    def _reference_memside_write(self, paddr: int, data: bytes) -> None:
+        self._charge_lines(paddr, len(data), writeback=True)
+        if self._mee_bytes and self._prm_lo <= paddr < self._prm_hi:
+            self._write_prm_plaintext(paddr, data)
+            return
+        self.phys.write(paddr, data)
 
     # PRM plaintext helpers: DRAM holds ciphertext; the package-internal
     # view is plaintext.  Read-modify-write at cacheline granularity.

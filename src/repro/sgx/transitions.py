@@ -1,0 +1,112 @@
+"""The first-class transition event log (ISSUE 6 tentpole).
+
+Every lifecycle / transition / AEX-resume / eviction leaf records one
+event into its machine's :class:`TransitionLog` through the single seam
+:meth:`repro.sgx.machine.Machine.log_transition`.  The log is the
+ground truth the orderliness automaton (:mod:`repro.analysis.orderliness`)
+replays against the paper's Fig. 6 entry/exit rules, and its canonical
+digest is the second determinism fingerprint the runner and the
+differential fuzzer compare across worker counts, fault plans, and the
+fast-vs-reference memory paths.
+
+Design constraints (all load-bearing):
+
+* **Zero simulated cost.**  Recording charges no cost-model event and
+  bumps no counter, so the golden machine fingerprints
+  (``tests/perf/test_fingerprint.py``) are untouched by logging.
+* **Deterministic.**  An event is a plain tuple
+  ``(kind, core, eid, tcs, depth, extra)`` with ``extra`` a sorted
+  tuple of ``(key, value)`` pairs; the digest folds ``repr`` of each
+  event, so two logs agree iff the recorded sequences are identical.
+* **Rollback-able.**  The fault engine's transparency doctrine extends
+  to the log: a benign injection brackets its real AEX/ERESUME or
+  EWB/ELDB sequence with :meth:`TransitionLog.mark` /
+  :meth:`TransitionLog.rollback` so a faulted run's digest is
+  byte-identical to the fault-free one.
+
+Worker sessions
+---------------
+One experiment may build several machines.  :func:`begin_session`
+starts collecting the :class:`TransitionLog` of every machine
+constructed afterwards (in construction order);  :func:`end_session`
+folds their digests into the per-experiment ``transition_digest`` the
+runner ships next to the ``result_fingerprint``.  Outside a session,
+construction registers nothing, so ad-hoc machines never leak.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class TransitionLog:
+    """An append-only, rollback-able event log for one machine."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        #: ``(kind, core, eid, tcs, depth, extra)`` tuples; ``core`` is
+        #: an int core id or None for coreless leaves (EWB/ELDB/NASSO),
+        #: ``extra`` is a sorted tuple of ``(key, value)`` pairs.
+        self.events: list[tuple] = []
+
+    def record(self, kind: str, core: int | None, eid: int, tcs: int,
+               depth: int, extra: dict) -> None:
+        self.events.append(
+            (kind, core, eid, tcs, depth,
+             tuple(sorted(extra.items())) if extra else ()))
+
+    # -- fault-engine transparency seam ---------------------------------
+    def mark(self) -> int:
+        """Position token for :meth:`rollback` (see module docstring)."""
+        return len(self.events)
+
+    def rollback(self, mark: int) -> None:
+        """Truncate every event recorded since ``mark``."""
+        del self.events[mark:]
+
+    # -- canonical digest ------------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 hex over the canonical rendering of every event."""
+        h = hashlib.sha256()
+        for event in self.events:
+            h.update(repr(event).encode())
+            h.update(b";")
+        return h.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# ---------------------------------------------------------------------------
+# Worker sessions: fold every machine a run constructs into one digest
+# ---------------------------------------------------------------------------
+
+#: Logs of machines constructed while a session is active, in
+#: construction order; None when no session is collecting.
+_SESSION: "list[TransitionLog] | None" = None
+
+
+def begin_session() -> None:
+    """Start collecting the logs of subsequently constructed machines."""
+    global _SESSION
+    _SESSION = []
+
+
+def register(log: TransitionLog) -> None:
+    """Called from ``Machine.__init__``; a no-op outside a session."""
+    if _SESSION is not None:
+        _SESSION.append(log)
+
+
+def end_session() -> str:
+    """Fold the collected logs' digests (in machine-construction order)
+    into one hex digest and stop collecting."""
+    global _SESSION
+    logs = _SESSION or []
+    _SESSION = None
+    h = hashlib.sha256()
+    for log in logs:
+        h.update(log.digest().encode())
+        h.update(b";")
+    return h.hexdigest()

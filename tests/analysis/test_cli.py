@@ -77,6 +77,36 @@ class TestPassSelection:
         assert {"SIM002", "TAINT001", "TAINT002"} <= rules
 
 
+class TestOnly:
+    def test_only_runs_exactly_one_pass(self, dirty_repo, capsys):
+        assert main(["--root", str(dirty_repo), "--format", "json",
+                     "--only", "simlint"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passes"] == ["simlint"]
+        assert {f["rule"] for f in payload["findings"]} == {"SIM002"}
+
+    def test_only_is_exclusive_with_positional_passes(self, capsys):
+        assert main(["--only", "simlint", "edl"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_only_is_exclusive_with_check(self, capsys):
+        assert main(["--only", "simlint", "--check", "modelcheck"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_only_orderliness_replays_workload_logs(self, capsys):
+        """The CI job's exact invocation: replay every fingerprint
+        workload's transition log through the automaton."""
+        assert main(["--only", "orderliness", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passes"] == ["orderliness"]
+        assert payload["findings"] == []
+
+    def test_unknown_only_name_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--only", "bogus"])
+        assert excinfo.value.code == 2
+
+
 class TestBaseline:
     def test_baseline_grandfathers_findings(self, dirty_repo, tmp_path,
                                             capsys):

@@ -276,6 +276,62 @@ class TestSim006:
         assert result.suppressed == 1
 
 
+class TestSim007:
+    def test_lifecycle_assignments_flagged(self, tmp_path):
+        result = _lint(tmp_path, """
+        from repro.sgx.constants import TCS_ACTIVE
+
+        def shortcut(machine, tcs):
+            tcs.state = TCS_ACTIVE
+            tcs.saved_context = None
+            tcs.aex_count += 1
+        """)
+        assert _rules(result) == ["SIM007"] * 3
+        assert all("transition log" in f.message
+                   for f in result.findings)
+
+    def test_annotated_assignment_flagged(self, tmp_path):
+        result = _lint(tmp_path, """
+        def reset(tcs):
+            tcs.state: int = 0
+        """)
+        assert _rules(result) == ["SIM007"]
+
+    def test_reads_and_unrelated_attributes_pass(self, tmp_path):
+        result = _lint(tmp_path, """
+        def observe(tcs, job):
+            state = tcs.state
+            job.status = "done"
+            count = 0
+            count += 1
+            return state, count
+        """)
+        assert result.findings == []
+
+    def test_isa_leaves_allowlisted_by_default(self, tmp_path):
+        result = _lint(tmp_path, """
+        def eenter(machine, tcs):
+            tcs.state = 1
+        """, name="repro/sgx/isa.py")
+        assert result.findings == []
+
+    def test_custom_allowlist(self, tmp_path):
+        config = SimlintConfig(sim007_allowed=frozenset({"pkg.victim"}))
+        result = _lint(tmp_path, """
+        def restore(tcs, snapshot):
+            tcs.saved_context = snapshot
+        """, config=config)
+        assert result.findings == []
+
+    def test_suppression_applies(self, tmp_path):
+        result = _lint(tmp_path, """
+        def patch(tcs):
+            tcs.aex_count = 0  # simlint: disable=SIM007
+        """)
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
 class TestSuppression:
     def test_disable_comment_silences_and_counts(self, tmp_path):
         result = _lint(tmp_path, """

@@ -119,6 +119,57 @@ class TestInterprocedural:
         assert findings == []
 
 
+class TestTransitionLogSink:
+    def test_key_in_log_transition_kwarg(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def leak(ctx, machine):
+            seal_key = ctx.get_key("seal")
+            machine.log_transition("EENTER", 0, eid=1, key=seal_key)
+        """)
+        assert [f.rule for f in findings] == ["TAINT003"]
+        assert "transition-log" in findings[0].message
+
+    def test_secret_parameter_in_record_payload(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def stash(machine, session_key):
+            machine.transitions.record("X", 0, 1, 0, 0, session_key)
+        """)
+        assert [f.rule for f in findings] == ["TAINT003"]
+
+    def test_event_kind_argument_is_not_payload(self, tmp_path):
+        """The first positional argument (the event kind) is not part
+        of the digested payload."""
+        findings = _analyze(tmp_path, """
+        def name_only(machine, session_key):
+            machine.log_transition(session_key)
+        """)
+        assert findings == []
+
+    def test_plain_metadata_payload_passes(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def record(machine, tcs_vaddr):
+            machine.log_transition("EENTER", 0, eid=1, tcs=tcs_vaddr,
+                                   depth=1)
+        """)
+        assert findings == []
+
+    def test_sealed_payload_is_declassified(self, tmp_path):
+        findings = _analyze(tmp_path, """
+        def record(ctx, gcm, machine):
+            key = ctx.get_key("seal")
+            machine.log_transition("KEYED", blob=gcm.seal(b"n", key))
+        """)
+        assert findings == []
+
+    def test_real_isa_leaves_are_clean(self):
+        from repro.analysis.runner import repo_root
+        from repro.analysis.taint import analyze_tree
+        root = repo_root()
+        report = analyze_tree(root / "src" / "repro", root / "src")
+        assert [f for f in report.findings
+                if f.rule == "TAINT003"] == []
+
+
 class TestSuppressionAndSweep:
     def test_inline_suppression(self, tmp_path):
         findings = _analyze(tmp_path, """

@@ -62,6 +62,10 @@ class TestChaosProtocol:
                              jobs=1)
         assert faulted.outcomes["selftest-memory"].fingerprint \
             == base.outcomes["selftest-memory"].fingerprint
+        # The transition-log digest is held to the same transparency
+        # bar: every injection must roll its events back.
+        assert faulted.outcomes["selftest-memory"].transition_digest \
+            == base.outcomes["selftest-memory"].transition_digest
 
 
 @needs_fork

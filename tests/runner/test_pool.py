@@ -64,6 +64,21 @@ class TestDeterminism:
             assert serial.outcomes[name].fingerprint == \
                 parallel.outcomes[name].fingerprint
 
+    def test_every_experiment_has_transition_digest(self, cheap_runs):
+        serial, _ = cheap_runs
+        for outcome in serial.outcomes.values():
+            assert len(outcome.transition_digest) == 64
+            int(outcome.transition_digest, 16)
+
+    def test_transition_digests_match_across_worker_counts(
+            self, cheap_runs):
+        """The transition-log digest is a determinism observable like
+        the result fingerprint: -j1 and -j4 must agree byte for byte."""
+        serial, parallel = cheap_runs
+        for name in CHEAP:
+            assert serial.outcomes[name].transition_digest == \
+                parallel.outcomes[name].transition_digest
+
     def test_document_digest_covers_experiments(self, cheap_runs):
         serial, _ = cheap_runs
         document = build_document(serial)
@@ -83,7 +98,7 @@ class TestSchema:
         assert document["suite"] == "quick"
         entry = document["experiments"][0]
         assert set(entry) == {"name", "status", "result",
-                              "fingerprint"}
+                              "fingerprint", "transition_digest"}
         result = entry["result"]
         assert set(result) == {"experiment", "title", "columns",
                                "rows", "notes", "metrics"}

@@ -66,9 +66,10 @@ class TestTier1Gate:
         assert "push" in triggers
         assert "pull_request" in triggers
 
-    def test_five_separate_jobs(self):
+    def test_six_separate_jobs(self):
         assert set(_load("ci.yml")["jobs"]) == \
-            {"tests", "ruff", "analysis", "modelcheck", "chaos"}
+            {"tests", "ruff", "analysis", "modelcheck", "chaos",
+             "orderliness"}
 
     def test_python_matrix_is_39_and_312(self):
         tests = _load("ci.yml")["jobs"]["tests"]
@@ -115,6 +116,14 @@ class TestTier1Gate:
                    and "--chaos 3" in run
                    for step in chaos["steps"]
                    for run in [step.get("run", "")])
+
+    def test_orderliness_job_replays_workload_logs(self):
+        orderliness = _load("ci.yml")["jobs"]["orderliness"]
+        assert orderliness["env"]["PYTHONPATH"] == "src"
+        assert any(
+            "python -m repro.analysis --only orderliness" in run
+            for step in orderliness["steps"]
+            for run in [step.get("run", "")])
 
     def test_modelcheck_job_exhausts_default_scope(self):
         modelcheck = _load("ci.yml")["jobs"]["modelcheck"]
@@ -168,6 +177,24 @@ class TestNightlyPipeline:
                    for step in chaos["steps"]
                    for run in [step.get("run", "")])
         uploads = [step for step in chaos["steps"]
+                   if "upload-artifact" in step.get("uses", "")]
+        assert uploads and uploads[0].get("if") == "always()"
+
+    def test_difffuzz_deep_job_fuzzes_200_schedules(self):
+        """Nightly depth: at least 200 seeded schedules with fault
+        plans threaded through, reproducers published as artifacts."""
+        difffuzz = _load("nightly.yml")["jobs"]["difffuzz-deep"]
+        assert difffuzz["env"]["PYTHONPATH"] == "src"
+        runs = [run for step in difffuzz["steps"]
+                for run in [step.get("run", "")]]
+        fuzz_runs = [run for run in runs
+                     if "python -m repro.analysis.difffuzz" in run]
+        assert fuzz_runs
+        tokens = fuzz_runs[0].split()
+        assert int(tokens[tokens.index("--schedules") + 1]) >= 200
+        assert "--with-faults" in tokens
+        assert "--artifacts" in tokens
+        uploads = [step for step in difffuzz["steps"]
                    if "upload-artifact" in step.get("uses", "")]
         assert uploads and uploads[0].get("if") == "always()"
 

@@ -3,11 +3,14 @@
 The PR-2 memory-system fast paths (aggregated cost charging, the
 per-core translation micro-cache, dict-backed LLC sets) claim to be
 observably identical to the slow reference implementation.  The golden
-fingerprints pin that claim for four *fixed* workloads; this fuzzer
-attacks it with *random* ones: each seeded :class:`Schedule` drives the
-shared ``nested_pair`` enclave constellation (outer + associated inner)
+fingerprints pin that claim for *fixed* workloads; this fuzzer attacks
+it with *random* ones: each seeded :class:`Schedule` drives the shared
+``nested_pair`` enclave constellation (outer + associated inner)
 through a random sequence of heap pokes/peeks, nested call storms,
-AEX/ERESUME interruptions, and EPC evict/reload round trips — twice.
+AEX/ERESUME interruptions, EPC evict/reload round trips, and
+contiguous multi-page read/write bursts straddling TLB flush /
+shootdown boundaries (``bulk_storm``, stressing the access-plan
+compiler's invalidation) — twice.
 The fast run uses the production configuration; the reference run sets
 ``MachineConfig.reference_paths`` so every access takes the slow
 per-line path with the micro-cache disabled.  Three oracles compare the
@@ -65,8 +68,16 @@ FINDING_PATH = "repro/perf/fingerprint.py"
 
 #: Op kinds a schedule draws from.  ``poke``/``peek``/``storm``/
 #: ``interrupted`` are the nested_pair outer entries; ``evict_reload``
-#: drives the driver's EWB/ELDB round trip over heap pages.
-OP_KINDS = ("poke", "peek", "storm", "interrupted", "evict_reload")
+#: drives the driver's EWB/ELDB round trip over heap pages;
+#: ``bulk_storm`` issues contiguous multi-page read/write bursts over
+#: an untrusted buffer, interleaved with a full IPI shootdown and a
+#: local TLB flush, so every burst crosses a plan-cache invalidation
+#: boundary.
+OP_KINDS = ("poke", "peek", "storm", "interrupted", "evict_reload",
+            "bulk_storm")
+
+#: Size of the untrusted buffer ``bulk_storm`` bursts range over.
+_BULK_PAGES = 4
 
 #: Heap slots (8-byte) the random pokes/peeks range over; stays inside
 #: the first heap page so evict_reload cannot invalidate live data
@@ -117,8 +128,11 @@ def generate_schedule(seed: int, *, with_faults: bool = False) -> Schedule:
             ops.append(("storm", rng.randint(1, 4)))
         elif kind == "interrupted":
             ops.append(("interrupted", 8 * rng.randrange(_SLOTS)))
-        else:
+        elif kind == "evict_reload":
             ops.append(("evict_reload", rng.randint(1, 3)))
+        else:
+            ops.append(("bulk_storm", rng.randint(1, _BULK_PAGES),
+                        rng.randrange(256)))
     fault_seed = rng.randrange(1 << 30) if with_faults else None
     return Schedule(seed=seed, ops=tuple(ops), fault_seed=fault_seed)
 
@@ -155,10 +169,32 @@ def run_schedule(schedule: Schedule, *,
                 os.environ["REPRO_FAULT_PLAN"] = saved
     driver = host.kernel.driver
     heap_page0 = outer.heap.base & ~(PAGE_SIZE - 1)
+    bulk_base = None  # mapped lazily by the first bulk_storm op
     values = []
     for op in schedule.ops:
         kind, args = op[0], op[1:]
-        if kind == "evict_reload":
+        if kind == "bulk_storm":
+            # Contiguous multi-page bursts across invalidation
+            # boundaries: write the whole span in one access, broadcast
+            # an IPI shootdown (killing every compiled plan and TLB
+            # entry), read it back, flush the local TLB, read again.
+            # The checksum pins the bytes; the machine fingerprint pins
+            # the charging of every burst.
+            pages, pattern_seed = args
+            if bulk_base is None:
+                bulk_base = host.kernel.mmap(host.proc,
+                                             _BULK_PAGES * PAGE_SIZE)
+            span = pages * PAGE_SIZE
+            pattern = bytes((pattern_seed + i) & 0xFF
+                            for i in range(256)) * (span // 256)
+            core = host.core
+            core.write(bulk_base, pattern)
+            host.machine.flush_all_tlbs()
+            first = core.read(bulk_base, span)
+            core.flush_tlb()
+            second = core.read(bulk_base, span)
+            values.append((sum(first) + sum(second)) & 0xFFFFFFFF)
+        elif kind == "evict_reload":
             pages = args[0]
             for page in range(pages):
                 driver.evict_page(outer.secs,

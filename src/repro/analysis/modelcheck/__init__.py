@@ -49,7 +49,10 @@ def run_mutation_kill(scope: str = "tiny",
         mutation = MUTATIONS[name]
         world = build_world(SCOPES[scope],
                             validator_cls=mutation.validator_cls)
-        result = explore(world, stop_on_violation=True)
+        if mutation.apply is not None:
+            mutation.apply(world)
+        result = explore(world, stop_on_violation=True,
+                         key_fn=mutation.key_fn)
         rules = tuple(sorted({f.rule for f in result.findings}))
         outcomes.append(MutationOutcome(
             mutation=name, expected_rule=mutation.expected_rule,

@@ -1,11 +1,14 @@
-"""Named single-edit validator weakenings (the mutation kill-list).
+"""Named single-edit weakenings (the mutation kill-list).
 
-Each mutation is a subclass of the real :class:`NestedValidator`
-overriding exactly one check; ``--mutate`` builds a world with the mutant
-installed and requires the explorer to kill it with a minimized
-counterexample of the expected rule.  A surviving mutant means the
-checker lost discrimination — the self-validation the paper-style
-security argument needs before trusting "zero findings".
+Most mutations are subclasses of the real :class:`NestedValidator`
+overriding exactly one check; ``plan-cache-skips-validation`` instead
+weakens the *memory fast path* (a TLB whose content epoch never moves,
+so the per-core access-plan cache survives every invalidation event).
+``--mutate`` builds a world with the mutant installed and requires the
+explorer to kill it with a minimized counterexample of the expected
+rule.  A surviving mutant means the checker lost discrimination — the
+self-validation the paper-style security argument needs before trusting
+"zero findings".
 
 ``MC001`` (the bare-state invariant audit) is deliberately not mapped to
 a mutation: it fires on corrupted *reachable* state rather than on a
@@ -15,9 +18,11 @@ weakened check, and every transition here goes through the real ISA.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.core import NestedValidator
 from repro.sgx.access import ABORT, BaselineValidator, Decision, INSERT
+from repro.sgx.tlb import Tlb
 
 
 class DropVaMatch(NestedValidator):
@@ -70,12 +75,61 @@ class AcceptUnrelatedOwner(NestedValidator):
         return decision
 
 
+class FrozenPlanEpochTlb(Tlb):
+    """The plan-cache invalidation bug under test (ISSUE 7): every
+    content-changing operation — insert, flush, invalidate_pfn, restore
+    — performs its real state change but *forgets to move*
+    ``content_gen``.  A core's compiled access plan therefore stays
+    "live" across transition flushes and shootdowns and keeps serving
+    translations that were validated under a dead context, without ever
+    re-running the Fig. 6 automaton."""
+
+    def insert(self, entry) -> None:
+        gen = self.content_gen
+        super().insert(entry)
+        self.content_gen = gen
+
+    def flush(self) -> None:
+        gen = self.content_gen
+        super().flush()
+        self.content_gen = gen
+
+    def invalidate_pfn(self, pfn: int) -> int:
+        gen = self.content_gen
+        dropped = super().invalidate_pfn(pfn)
+        self.content_gen = gen
+        return dropped
+
+    def restore(self, snapshot: tuple) -> None:
+        gen = self.content_gen
+        super().restore(snapshot)
+        self.content_gen = gen
+
+
+def _install_frozen_plan_epoch(world) -> None:
+    """Swap every core's (empty, post-build) TLB for the frozen-epoch
+    mutant.  ``build_world`` ends with a flush of all TLBs, so no
+    contents need carrying over."""
+    for core in world.machine.cores:
+        core.tlb = FrozenPlanEpochTlb(core.tlb.capacity)
+
+
 @dataclass(frozen=True)
 class Mutation:
     name: str
     validator_cls: type
     expected_rule: str
     description: str
+    #: Optional post-build hook installing non-validator mutants.
+    apply: Optional[Callable] = None
+    #: Optional canonical-key override for exploring the mutant world
+    #: (see state.canonical_key_with_plans).
+    key_fn: Optional[Callable] = None
+
+
+def _plan_key_fn(world):
+    from repro.analysis.modelcheck.state import canonical_key_with_plans
+    return canonical_key_with_plans(world)
 
 
 MUTATIONS = {
@@ -91,4 +145,13 @@ MUTATIONS = {
     "accept-unrelated-owner": Mutation(
         "accept-unrelated-owner", AcceptUnrelatedOwner, "MC002",
         "accept EPC pages owned by unrelated enclaves"),
+    # Rule MC003: the first witness BFS reaches is a compiled plan
+    # serving a shadowed outer page straight past the re-pointed page
+    # table (no validator run, so no #PF) — the same stale-plan bug
+    # also yields MC002s at deeper states.
+    "plan-cache-skips-validation": Mutation(
+        "plan-cache-skips-validation", NestedValidator, "MC003",
+        "freeze the TLB content epoch so compiled access plans survive "
+        "every invalidation event and serve stale translations",
+        apply=_install_frozen_plan_epoch, key_fn=_plan_key_fn),
 }

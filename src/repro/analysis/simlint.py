@@ -1,4 +1,4 @@
-"""Simulation-integrity lint: the SIM001–SIM007 ``ast`` rules.
+"""Simulation-integrity lint: the SIM001–SIM008 ``ast`` rules.
 
 The simulator's results are only meaningful if (a) every simulated
 memory access goes through the validation automaton and (b) nothing in a
@@ -49,6 +49,15 @@ both properties checkable per commit:
     checker's state snapshots — every lifecycle change must flow
     through a leaf so the transition log and the orderliness automaton
     see it (:data:`DEFAULT_CONFIG` ``.sim007_allowed``).
+``SIM008``
+    No direct per-access validator calls (``*.validator.validate(…)``)
+    outside the allowlisted translation leaves
+    (:data:`DEFAULT_CONFIG` ``.sim008_allowed``, ``module:function``
+    granularity — by default only ``repro.sgx.cpu:_translate``).  The
+    access-plan compiler (ISSUE 7) batches validation per page-run; a
+    bulk fast path that re-runs the validator per access silently
+    reverts the optimisation, and one that calls it from a *new* leaf
+    sidesteps the plan cache's invalidation discipline.
 
 Any finding can be silenced on its line with ``# simlint:
 disable=SIM00X`` (comma-separate several IDs; ``disable=all`` kills
@@ -66,7 +75,7 @@ from repro.analysis.findings import Finding, Report
 from repro.analysis.pysource import Module, iter_modules
 
 RULES = ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
-         "SIM007")
+         "SIM007", "SIM008")
 
 #: ``*.phys`` methods that move or destroy bytes (geometry queries such
 #: as ``in_prm``/``in_epc``/``frame_exists`` are not accesses).
@@ -109,6 +118,10 @@ class SimlintConfig:
         "repro.sgx.machine",    # CPU-side LLC+MEE accessors
         "repro.sgx.isa",        # microcode leaves (below the automaton)
         "repro.sgx.eviction",   # EWB/ELDB page movers
+        # The core's plan-serve fast paths move bytes for translations
+        # the automaton already validated (plan ⊆ TLB, ISSUE 7); SIM008
+        # polices that those paths never *re-enter* the validator.
+        "repro.sgx.cpu",
     })
     sim002_allowed: frozenset[str] = frozenset({
         "repro.perf.wallclock",  # the one sanctioned wall-clock helper
@@ -131,6 +144,12 @@ class SimlintConfig:
         # The model checker snapshots/restores lifecycle state by design
         # (it explores the automaton, it does not simulate through it).
         "repro.analysis.modelcheck.state",
+    })
+    #: ``module:function`` pairs that may call ``*.validator.validate``
+    #: directly (SIM008).  Exactly one leaf validates per-access; bulk
+    #: fast paths must reuse its TLB fills via the access plan.
+    sim008_allowed: frozenset[str] = frozenset({
+        "repro.sgx.cpu:_translate",
     })
 
 
@@ -178,6 +197,7 @@ class _SimlintVisitor(ast.NodeVisitor):
         self.imports = _ImportTable(module.tree)
         self.raw: list[Finding] = []
         self._depth = 0  # >0 while inside a function body
+        self._func_stack: list[str] = []  # enclosing function names
 
     def _flag(self, node: ast.AST, rule: str, message: str,
               symbol: str = "") -> None:
@@ -210,9 +230,26 @@ class _SimlintVisitor(ast.NodeVisitor):
                        "validation automaton", symbol="_frames")
         self.generic_visit(node)
 
+    # -- SIM008 -------------------------------------------------------------
+    def _check_validator_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "validate"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "validator"):
+            return
+        where = self._func_stack[-1] if self._func_stack else "<module>"
+        if f"{self.module.name}:{where}" in self.config.sim008_allowed:
+            return
+        self._flag(node, "SIM008",
+                   "direct per-access '.validator.validate' call outside "
+                   "the allowlisted translation leaves; bulk fast paths "
+                   "must reuse plan-compiled validations (ISSUE 7)",
+                   symbol=f"{where}:validator.validate")
+
     # -- SIM002 / SIM003 (call-shaped rules) --------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         self._check_phys(node)
+        self._check_validator_call(node)
         name = self.imports.resolve(node.func)
         if name is not None:
             self._check_wallclock(node, name)
@@ -346,7 +383,9 @@ class _SimlintVisitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._depth += 1
+        self._func_stack.append(node.name)
         self.generic_visit(node)
+        self._func_stack.pop()
         self._depth -= 1
 
     visit_AsyncFunctionDef = visit_FunctionDef

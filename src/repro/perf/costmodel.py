@@ -161,7 +161,11 @@ class CostModel:
                  params: CostParams | None = None) -> None:
         self.clock = clock or SimClock()
         self.params = params or CostParams()
-        self.breakdown: dict[str, float] = {}
+        # The four memory-system buckets are preseeded (and re-seeded by
+        # reset_breakdown) so the per-access hot paths can use a plain
+        # ``breakdown[k] += ns`` instead of the get-with-default dance.
+        self.breakdown: dict[str, float] = {
+            "tlb_hit": 0.0, "cache_hit": 0.0, "dram": 0.0, "mee": 0.0}
         # Lazily filled event -> latency table so the hot path resolves
         # an event name with one dict probe instead of getattr+concat.
         self._event_ns: dict[str, float] = {}
@@ -220,19 +224,53 @@ class CostModel:
         total = 0.0
         if hits:
             ns = hits * self._cache_hit_ns
-            breakdown["cache_hit"] = breakdown.get("cache_hit", 0.0) + ns
+            breakdown["cache_hit"] += ns
             total += ns
         if misses:
             ns = misses * self._dram_access_ns
-            breakdown["dram"] = breakdown.get("dram", 0.0) + ns
+            breakdown["dram"] += ns
             total += ns
         if mee_lines:
             ns = mee_lines * self._mee_line_ns
-            breakdown["mee"] = breakdown.get("mee", 0.0) + ns
+            breakdown["mee"] += ns
             total += ns
         if total:
             clock = self.clock
             clock._now_ns = clock._now_ns + total
+
+    def charge_run(self, tlb_hits: int, llc_hits: int, llc_misses: int,
+                   mee_lines: int) -> None:
+        """One fused charge covering a whole compiled page-run:
+        ``tlb_hits`` plan-served translations plus the run's aggregate
+        LLC hits, DRAM fills, and MEE line operations.
+
+        Advances the clock once with the summed cost and updates each
+        breakdown bucket once.  Bit-identical to the per-access sequence
+        (one tlb_hit charge + one :meth:`charge_lines`-shaped charge per
+        page): every CostParams latency is a multiple of 0.5 ns, so each
+        addend — including the ``count * latency`` products — and every
+        partial sum is exactly representable; float addition of exactly
+        representable dyadic values is associative and commutative, so
+        regrouping N interleaved charges into one fused sum cannot
+        change a single bit of the clock or any breakdown bucket.
+        """
+        breakdown = self.breakdown
+        total = tlb_hits * self._tlb_hit_ns
+        breakdown["tlb_hit"] += total
+        if llc_hits:
+            ns = llc_hits * self._cache_hit_ns
+            breakdown["cache_hit"] += ns
+            total += ns
+        if llc_misses:
+            ns = llc_misses * self._dram_access_ns
+            breakdown["dram"] += ns
+            total += ns
+        if mee_lines:
+            ns = mee_lines * self._mee_line_ns
+            breakdown["mee"] += ns
+            total += ns
+        clock = self.clock
+        clock._now_ns = clock._now_ns + total
 
     def charge_work(self, units: float) -> None:
         """Generic application compute, in abstract work units."""
@@ -240,7 +278,11 @@ class CostModel:
 
     # -- reporting ----------------------------------------------------------
     def snapshot(self) -> dict[str, float]:
-        return dict(self.breakdown)
+        # Preseeded-but-never-charged buckets are an implementation
+        # detail of the hot path; a report only shows charged events.
+        return {k: v for k, v in self.breakdown.items() if v}
 
     def reset_breakdown(self) -> None:
         self.breakdown.clear()
+        self.breakdown.update(
+            tlb_hit=0.0, cache_hit=0.0, dram=0.0, mee=0.0)

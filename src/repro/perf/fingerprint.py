@@ -15,9 +15,12 @@ drift fails CI even if every behavioural test still passes.
 The workloads deliberately cover the paths the fast-path work touches:
 the in-EPC ring channel (LLC + MEE ciphertext), the AES-GCM software
 channel (crypto byte-for-byte), EPC eviction under live inner threads
-(EWB/ELDB, IPIs, TLB shootdown), and a transition storm (EENTER/EEXIT/
+(EWB/ELDB, IPIs, TLB shootdown), a transition storm (EENTER/EEXIT/
 NEENTER/NEEXIT/AEX/ERESUME flush discipline, which the translation
-micro-cache must honour).
+micro-cache must honour), and a bulk same-mode memcpy through a nested
+pair (``bulk_copy``) — the exact multi-page contiguous shape the
+access-plan compiler batches, pinned independently of the Fig. 11
+sweep.
 """
 
 from __future__ import annotations
@@ -48,6 +51,25 @@ enclave {
     };
     nested_untrusted {
         int poke(int offset, int value);
+    };
+};
+"""
+
+_BULK_OUTER_EDL = """
+enclave {
+    trusted {
+        public int fill(int offset, int nbytes, int seed);
+        public int blast(int src, int dst, int nbytes, int reps);
+        public int delegate(int src, int dst, int nbytes);
+        public int checksum(int offset, int nbytes);
+    };
+};
+"""
+
+_BULK_INNER_EDL = """
+enclave {
+    nested_trusted {
+        public int inner_blast(int src, int dst, int nbytes);
     };
 };
 """
@@ -250,12 +272,104 @@ def _wl_eviction_pressure() -> Machine:
     return host.machine
 
 
+def bulk_pair(**config_overrides):
+    """An outer/inner pair whose entries move *large contiguous spans*:
+    the hot shape the access-plan compiler batches into page-runs.
+
+    A separate constellation from :func:`nested_pair` on purpose — its
+    entries are measured into MRENCLAVE, so extending ``nested_pair``
+    would shift every existing golden.  ``config_overrides`` pass
+    through to :class:`~repro.sgx.constants.MachineConfig`
+    (``reference_paths=True`` replays the same spans per-line with the
+    plan compiler dead).  Returns ``(host, outer, inner)``.
+    """
+    from repro.experiments.common import nested_host
+    from repro.sdk import EnclaveBuilder, parse_edl
+    from repro.sdk.builder import developer_key
+    from repro.sgx.constants import PAGE_SIZE
+
+    def fill(ctx, offset, nbytes, seed):
+        pattern = bytes((seed + i) & 0xFF for i in range(256))
+        data = (pattern * ((nbytes + 255) // 256))[:nbytes]
+        ctx.write(ctx.handle.heap.base + offset, data)
+        return nbytes
+
+    def blast(ctx, src, dst, nbytes, reps):
+        base = ctx.handle.heap.base
+        for _ in range(reps):
+            ctx.write(base + dst, ctx.read(base + src, nbytes))
+        return nbytes * reps
+
+    def delegate(ctx, src, dst, nbytes):
+        # handles[1] is the inner enclave: load order is fixed below.
+        inner = ctx.host.handles[1]
+        base = ctx.handle.heap.base
+        return ctx.n_ecall(inner, "inner_blast", base + src, base + dst,
+                           nbytes)
+
+    def checksum(ctx, offset, nbytes):
+        data = ctx.read(ctx.handle.heap.base + offset, nbytes)
+        return sum(data) & 0xFFFFFFFF
+
+    def inner_blast(ctx, src, dst, nbytes):
+        # Inner-mode copy over the *outer* heap: the nested validator
+        # admits the whole span, so the run batches identically.
+        ctx.write(dst, ctx.read(src, nbytes))
+        return nbytes
+
+    host = nested_host(mee_bytes=True, llc_bytes=32 << 10,
+                       **config_overrides)
+    key = developer_key("fingerprint")
+    outer_builder = EnclaveBuilder(
+        "bulk-outer", parse_edl(_BULK_OUTER_EDL, name="bulk-outer"),
+        signing_key=key, heap_bytes=16 * PAGE_SIZE)
+    outer_builder.add_entry("fill", fill)
+    outer_builder.add_entry("blast", blast)
+    outer_builder.add_entry("delegate", delegate)
+    outer_builder.add_entry("checksum", checksum)
+    outer_probe = outer_builder.build()
+
+    inner_builder = EnclaveBuilder(
+        "bulk-inner", parse_edl(_BULK_INNER_EDL, name="bulk-inner"),
+        signing_key=key)
+    inner_builder.add_entry("inner_blast", inner_blast)
+    inner_builder.expect_peer(outer_probe.sigstruct.expected_mrenclave,
+                              outer_probe.sigstruct.mrsigner)
+    inner_image = inner_builder.build()
+    outer_builder.expect_peer(inner_image.sigstruct.expected_mrenclave,
+                              inner_image.sigstruct.mrsigner)
+
+    outer = host.load(outer_builder.build())
+    inner = host.load(inner_image)
+    host.associate(inner, outer)
+    return host, outer, inner
+
+
+def _wl_bulk_copy() -> Machine:
+    """Large same-mode memcpy through a nested pair: multi-page
+    contiguous spans copied in outer mode, then in inner mode over the
+    outer heap, with real MEE ciphertext and an LLC small enough that
+    the spans thrash it."""
+    from repro.sgx.constants import PAGE_SIZE
+
+    host, outer, inner = bulk_pair()
+    span = 6 * PAGE_SIZE
+    dst = 8 * PAGE_SIZE
+    outer.ecall("fill", 0, span, 0x5A)
+    outer.ecall("blast", 0, dst, span, 2)
+    outer.ecall("delegate", dst, 0, span)
+    assert outer.ecall("checksum", 0, span) \
+        == outer.ecall("checksum", dst, span)
+    return host.machine
+
+
 #: name -> workload constructor; iteration order is the report order.
 WORKLOADS: dict[str, Callable[[], Machine]] = {
     "ring_channel": _wl_ring_channel,
     "gcm_channel": _wl_gcm_channel,
     "transitions": _wl_transitions,
     "eviction_pressure": _wl_eviction_pressure,
+    "bulk_copy": _wl_bulk_copy,
 }
 
 

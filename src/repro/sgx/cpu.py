@@ -23,6 +23,15 @@ from repro.sgx.constants import PAGE_SHIFT, PAGE_SIZE, PERM_R, PERM_W
 from repro.sgx.paging import AddressSpace
 from repro.sgx.tlb import Tlb, TlbEntry
 
+# Hot-path copies of the counter slot indices: a module-global load is
+# cheaper than an attribute load on ``ctr`` in the per-access fast paths.
+_SLOT_TLB_HIT = ctr.SLOT_TLB_HIT
+_SLOT_LLC_HIT = ctr.SLOT_LLC_HIT
+_SLOT_LLC_MISS = ctr.SLOT_LLC_MISS
+_SLOT_MEE_LINE_DEC = ctr.SLOT_MEE_LINE_DEC
+_SLOT_MEE_LINE_ENC = ctr.SLOT_MEE_LINE_ENC
+_PAGE_MASK = PAGE_SIZE - 1
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sgx.machine import Machine
 
@@ -66,19 +75,67 @@ class Core:
         self._mc_vpn1 = -1
         self._mc_entry1: TlbEntry | None = None
         self._mc_gen = -1
-        # Reference mode: keep the micro-cache permanently dead (the
-        # generation stamp can never reach -2 and misses skip the
-        # refill), so every translation takes the full Tlb.lookup path —
-        # which charges the identical tlb_hit cost and counter.
+        # Access-plan cache (the ISSUE 7 compiler): vpn -> (entry,
+        # base_paddr, prm, crypto) for pages whose translation this core
+        # has validated, valid only while ``tlb.content_gen`` is
+        # unchanged.  content_gen moves on every event that can change
+        # which translations are valid — transition flushes (EENTER/
+        # NEENTER/EEXIT/NEEXIT, AEX/ERESUME all call flush_tlb), NASSO
+        # and EWB/ELDB shootdowns (flush_all_tlbs), direct invalidation,
+        # restore, and every insert (which may capacity-evict) — so
+        # while the stamp matches, every planned page provably is still
+        # in the TLB and a bulk run may charge tlb_hit per page without
+        # consulting it.  The *frame* is looked up at serve time, never
+        # cached: EREMOVE drops frames without flushing TLBs, and the
+        # plan must mirror the TLB-hit path byte-for-byte even then.
+        self._plan: dict[int, tuple] = {}
+        self._plan_gen = -1
+        # Reference mode: keep the micro-cache and the plan cache
+        # permanently dead (generation stamps can never reach -2:
+        # ``generation``/``content_gen`` start at 0 and only grow, and
+        # misses skip the refill/compile), so every translation takes
+        # the full Tlb.lookup path — which charges the identical tlb_hit
+        # cost and counter.  difffuzz relies on this to keep a
+        # trustworthy slow oracle.
         self._reference = machine.config.reference_paths
         if self._reference:
             self._mc_gen = -2
+            self._plan_gen = -2
         # Hot-path aliases (see Machine.__init__: these objects are never
         # rebound, and Counters.reset clears the slot list in place).
         self._slots = machine.counters.slots
         self._cost = machine.cost
         self._memside_read = machine.memside_read
         self._memside_write = machine.memside_write
+        self._llc_range = machine._llc_range
+        self._frames = machine.phys._frames
+        self._prm_lo = machine._prm_lo
+        self._prm_hi = machine._prm_hi
+        self._mee_bytes = machine._mee_bytes
+        self._dram_bytes = machine._dram_bytes
+        # Single-line LLC probe, inlined into the plan fast path: the
+        # model's internals (set list, geometry) and the memory-system
+        # unit costs, plus the three possible fused single-line charges
+        # precomputed with the exact association the generic path uses
+        # (tlb, then +llc, then +mee — each partial sum is an exact
+        # dyadic float, see CostModel.charge_run).
+        llc = machine.llc
+        self._llc = llc
+        self._llc_sets = llc._sets
+        self._llc_nsets = llc.num_sets
+        self._llc_ways = llc.ways
+        self._llc_lb = llc.line_bytes
+        cost = machine.cost
+        self._breakdown = cost.breakdown
+        self._clock = cost.clock
+        self._tlb_hit_ns = cost._tlb_hit_ns
+        self._cache_hit_ns = cost._cache_hit_ns
+        self._dram_access_ns = cost._dram_access_ns
+        self._mee_line_ns = cost._mee_line_ns
+        self._chg_hit = cost._tlb_hit_ns + cost._cache_hit_ns
+        self._chg_miss = cost._tlb_hit_ns + cost._dram_access_ns
+        self._chg_miss_mee = (cost._tlb_hit_ns + cost._dram_access_ns
+                              + cost._mee_line_ns)
 
     # -- mode queries ----------------------------------------------------------
     @property
@@ -102,6 +159,51 @@ class Core:
         self.tlb.flush()
         self.machine.cost.charge_event("tlb_flush")
         self.machine.counters.bump(ctr.TLB_FLUSH)
+
+    # -- access-plan compilation (ISSUE 7) -----------------------------------
+    def _plan_add(self, vpn: int, entry: TlbEntry) -> None:
+        """Compile a validated translation into the access plan.
+
+        Called from every successful ``_translate`` path, so pages
+        served by the micro-cache still get planned.  A stale plan
+        (``content_gen`` moved) is cleared and restamped here — the
+        stamp is taken *after* any insert, so the insert's own
+        ``content_gen`` bump is already included and the fresh entry is
+        immediately servable.  Pages that straddle DRAM or the PRM
+        boundary are left to the slow path: the plan's per-page ``prm``
+        and ``crypto`` flags must be constant across the page for the
+        fused charge to be exact.
+        """
+        tlb = self.tlb
+        gen = tlb.content_gen
+        if self._plan_gen != gen:
+            self._plan.clear()
+            self._plan_gen = gen
+        base = entry.pfn << PAGE_SHIFT
+        if base < 0 or base + PAGE_SIZE > self._dram_bytes:
+            return
+        prm = self._prm_lo <= base < self._prm_hi
+        if prm != (self._prm_lo <= base + PAGE_SIZE - 1 < self._prm_hi):
+            return
+        self._plan[vpn] = (entry, base, prm, self._mee_bytes and prm)
+
+    def plan_capture(self) -> tuple:
+        """Plan-cache state for snapshot/restore (bounded model checking).
+
+        In normal worlds a restored stamp is always dead on arrival —
+        ``content_gen`` is monotonic and ``Tlb.restore`` bumps it, so
+        the captured stamp can never equal the post-restore epoch.  The
+        model checker's ``plan-cache-skips-validation`` mutant freezes
+        the epoch, and then this capture is what makes its stale-plan
+        states replayable.
+        """
+        return (self._plan_gen, tuple(self._plan.items()))
+
+    def plan_restore(self, snapshot: tuple) -> None:
+        gen, items = snapshot
+        self._plan_gen = gen
+        self._plan.clear()
+        self._plan.update(items)
 
     # -- the memory pipeline ------------------------------------------------------
     def _translate(self, vaddr: int, write: bool) -> TlbEntry:
@@ -145,7 +247,8 @@ class Core:
                 clock = cost.clock
                 clock._now_ns = clock._now_ns + ns
                 breakdown = cost.breakdown
-                breakdown["tlb_hit"] = breakdown.get("tlb_hit", 0.0) + ns
+                breakdown["tlb_hit"] += ns
+                self._plan_add(vpn, entry)
                 needed = PERM_W if write else PERM_R
                 if not entry.perms & needed:
                     kind = "write" if write else "read"
@@ -194,43 +297,248 @@ class Core:
                 self._mc_vpn1 = -1
                 self._mc_entry1 = None
             self._mc_gen = tlb.generation
+            self._plan_add(vpn, entry)
         needed = PERM_W if write else PERM_R
         if not entry.perms & needed:
             kind = "write" if write else "read"
             raise PageFault(f"{kind} permission denied at {vaddr:#x}", vaddr)
         return entry
 
+    def _plan_run(self, vaddr: int, size: int, data: bytes | None):
+        """Serve a contiguous multi-page access entirely from the plan.
+
+        Returns ``None`` — caller falls back to the per-page loop —
+        unless *every* page of the run is compiled with the needed
+        permission: a mid-run fault or recompile must reproduce the
+        reference path's partial charging and partial writes exactly,
+        so runs are all-or-nothing.  Pages are promoted and their LLC
+        lines touched in ascending VA order (identical to the per-page
+        loop, so future capacity evictions and LLC state cannot
+        diverge); the tlb_hit/LLC/MEE charges for the whole run are
+        applied as one fused ``charge_run`` pair at the end.
+        """
+        plan = self._plan
+        needed = PERM_R if data is None else PERM_W
+        first = vaddr >> PAGE_SHIFT
+        vpn = first
+        last = (vaddr + size - 1) >> PAGE_SHIFT
+        recs = []
+        while vpn <= last:
+            rec = plan.get(vpn)
+            if rec is None or not rec[0].perms & needed:
+                return None
+            recs.append(rec)
+            vpn += 1
+        tlb = self.tlb
+        gen = tlb.generation
+        entries = tlb._entries
+        capacity = tlb.capacity
+        llc_range = self._llc_range
+        frames = self._frames
+        machine = self.machine
+        out = bytearray() if data is None else None
+        hits = misses = mee = 0
+        off = vaddr & (PAGE_SIZE - 1)
+        pos = 0
+        vpn = first
+        for rec in recs:
+            entry, base, prm, crypto = rec
+            chunk = PAGE_SIZE - off
+            if chunk > size - pos:
+                chunk = size - pos
+            paddr = base | off
+            h, m = llc_range(paddr, chunk)
+            hits += h
+            if m:
+                misses += m
+                if prm:
+                    mee += m
+            entries.pop(vpn, None)
+            entries[vpn] = entry
+            if len(entries) > capacity:
+                del entries[next(iter(entries))]
+            if data is None:
+                if crypto:
+                    out += machine._read_prm_plaintext(paddr, chunk)
+                else:
+                    frame = frames.get(entry.pfn)
+                    if frame is None:
+                        out += bytes(chunk)
+                    else:
+                        out += frame[off:off + chunk]
+            else:
+                piece = data[pos:pos + chunk]
+                if crypto:
+                    machine._write_prm_plaintext(paddr, piece)
+                else:
+                    frame = frames.get(entry.pfn)
+                    if frame is None:
+                        frame = bytearray(PAGE_SIZE)
+                        frames[entry.pfn] = frame
+                    frame[off:off + chunk] = piece
+            pos += chunk
+            off = 0
+            vpn += 1
+        npages = len(recs)
+        tlb.generation = gen + npages
+        # Micro-cache refresh: the last page of the run is the TLB's MRU
+        # and the one before it second-MRU (runs always span >= 2 pages;
+        # single-page accesses take the _plan_serve path).
+        self._mc_vpn = last
+        self._mc_entry = recs[-1][0]
+        self._mc_vpn1 = last - 1
+        self._mc_entry1 = recs[-2][0]
+        self._mc_gen = gen + npages
+        if data is None:
+            dec, enc = mee, 0
+        else:
+            dec, enc = 0, mee
+        machine.counters.charge_run(npages, hits, misses, dec, enc)
+        self._cost.charge_run(npages, hits, misses, mee)
+        return bytes(out) if data is None else True
+
     def read(self, vaddr: int, size: int) -> bytes:
-        """Read ``size`` bytes of virtual memory with full protection."""
+        """Read ``size`` bytes of virtual memory with full protection.
+
+        Single-page fast path: an access whose page is compiled in the
+        plan is served entirely inline — the LRU promotion ``Tlb.lookup``
+        would perform (skipped when the page already is the TLB's MRU,
+        where promotion is a no-op, exactly as the slot-0 micro-hit
+        always has), a micro-cache refresh, one fused single-page
+        ``charge_run`` (see CostModel.charge_run for the FP-exactness
+        argument), and the byte movement of ``memside_read``.  Plan
+        ⊆ TLB while ``content_gen`` is unchanged, so the promotion's
+        entry is always present; the pop-with-default and capacity
+        guard keep even a deliberately broken model-checker mutant from
+        crashing.  Pages outside the plan (reference mode, PRM-boundary
+        stragglers) fall back to the micro-cache + memside path, then
+        to the full ``_translate``.
+        """
         hook = self.access_hook
         if hook is not None:
             hook(self, vaddr, False)
-        off = vaddr & (PAGE_SIZE - 1)
+        off = vaddr & _PAGE_MASK
         if 0 < size <= PAGE_SIZE - off:
-            # Fast path: the access stays within one page — exactly one
-            # translation, one memory-side transfer.  The slot-0 micro-hit
-            # (an exact copy of _translate's no-mutation branch: the entry
-            # is the TLB's MRU, so no promotion happens) is inlined; every
-            # other case — slot-1, miss, permission failure — falls
-            # through to _translate.
-            if (self._mc_gen == self.tlb.generation
-                    and vaddr >> PAGE_SHIFT == self._mc_vpn
+            tlb = self.tlb
+            vpn = vaddr >> PAGE_SHIFT
+            if self._plan_gen == tlb.content_gen:
+                rec = self._plan.get(vpn)
+                if rec is not None:
+                    entry, base, prm, crypto = rec
+                    if entry.perms & PERM_R:
+                        gen = tlb.generation
+                        mc_fresh = self._mc_gen == gen
+                        if not mc_fresh or vpn != self._mc_vpn:
+                            entries = tlb._entries
+                            entries.pop(vpn, None)
+                            entries[vpn] = entry
+                            if len(entries) > tlb.capacity:
+                                del entries[next(iter(entries))]
+                            tlb.generation = gen + 1
+                            if mc_fresh:
+                                self._mc_vpn1 = self._mc_vpn
+                                self._mc_entry1 = self._mc_entry
+                            else:
+                                self._mc_vpn1 = -1
+                                self._mc_entry1 = None
+                            self._mc_vpn = vpn
+                            self._mc_entry = entry
+                            self._mc_gen = gen + 1
+                        paddr = base | off
+                        slots = self._slots
+                        slots[_SLOT_TLB_HIT] += 1
+                        breakdown = self._breakdown
+                        clock = self._clock
+                        lb = self._llc_lb
+                        first = paddr - (paddr % lb)
+                        if paddr + size - first <= lb:
+                            # Single-line access: LLC probe and fused
+                            # charge inlined (same state transitions
+                            # and charge association as LlcModel.
+                            # access_range + the generic branch below).
+                            llc = self._llc
+                            lru = self._llc_sets[
+                                (first // lb) % self._llc_nsets]
+                            if first in lru:
+                                del lru[first]
+                                lru[first] = None
+                                llc.hits += 1
+                                slots[_SLOT_LLC_HIT] += 1
+                                breakdown["tlb_hit"] += self._tlb_hit_ns
+                                breakdown["cache_hit"] += \
+                                    self._cache_hit_ns
+                                clock._now_ns = (clock._now_ns
+                                                 + self._chg_hit)
+                            else:
+                                llc.misses += 1
+                                if len(lru) >= self._llc_ways:
+                                    del lru[next(iter(lru))]
+                                    llc.evictions += 1
+                                lru[first] = None
+                                slots[_SLOT_LLC_MISS] += 1
+                                breakdown["tlb_hit"] += self._tlb_hit_ns
+                                breakdown["dram"] += \
+                                    self._dram_access_ns
+                                if prm:
+                                    slots[_SLOT_MEE_LINE_DEC] += 1
+                                    breakdown["mee"] += \
+                                        self._mee_line_ns
+                                    clock._now_ns = (
+                                        clock._now_ns
+                                        + self._chg_miss_mee)
+                                else:
+                                    clock._now_ns = (clock._now_ns
+                                                     + self._chg_miss)
+                        else:
+                            total = self._tlb_hit_ns
+                            breakdown["tlb_hit"] += total
+                            hits, misses = self._llc_range(paddr, size)
+                            if hits:
+                                slots[_SLOT_LLC_HIT] += hits
+                                ns = hits * self._cache_hit_ns
+                                breakdown["cache_hit"] += ns
+                                total += ns
+                            if misses:
+                                slots[_SLOT_LLC_MISS] += misses
+                                ns = misses * self._dram_access_ns
+                                breakdown["dram"] += ns
+                                total += ns
+                                if prm:
+                                    slots[_SLOT_MEE_LINE_DEC] += misses
+                                    ns = misses * self._mee_line_ns
+                                    breakdown["mee"] += ns
+                                    total += ns
+                            clock._now_ns = clock._now_ns + total
+                        if crypto:
+                            return self.machine._read_prm_plaintext(
+                                paddr, size)
+                        frame = self._frames.get(entry.pfn)
+                        if frame is None:
+                            return bytes(size)
+                        return bytes(frame[off:off + size])
+            if (self._mc_gen == tlb.generation
+                    and vpn == self._mc_vpn
                     and self._mc_entry.perms & PERM_R):
                 entry = self._mc_entry
-                self._slots[ctr.SLOT_TLB_HIT] += 1
+                self._slots[_SLOT_TLB_HIT] += 1
                 cost = self._cost
                 ns = cost._tlb_hit_ns
                 clock = cost.clock
                 clock._now_ns = clock._now_ns + ns
                 breakdown = cost.breakdown
-                breakdown["tlb_hit"] = breakdown.get("tlb_hit", 0.0) + ns
-            else:
-                entry = self._translate(vaddr, write=False)
+                breakdown["tlb_hit"] += ns
+                return self._memside_read(
+                    (entry.pfn << PAGE_SHIFT) | off, size)
+            entry = self._translate(vaddr, write=False)
             return self._memside_read((entry.pfn << PAGE_SHIFT) | off, size)
+        if size > 0 and self._plan_gen == self.tlb.content_gen:
+            run = self._plan_run(vaddr, size, None)
+            if run is not None:
+                return run
         out = bytearray()
         while size > 0:
             entry = self._translate(vaddr, write=False)
-            off = vaddr & (PAGE_SIZE - 1)
+            off = vaddr & _PAGE_MASK
             chunk = min(size, PAGE_SIZE - off)
             paddr = (entry.pfn << PAGE_SHIFT) | off
             out += self.machine.memside_read(paddr, chunk)
@@ -243,28 +551,129 @@ class Core:
         if hook is not None:
             hook(self, vaddr, True)
         size = len(data)
-        off = vaddr & (PAGE_SIZE - 1)
+        off = vaddr & _PAGE_MASK
         if 0 < size <= PAGE_SIZE - off:
             # Same structure as ``read``'s fast path (see comment there).
-            if (self._mc_gen == self.tlb.generation
-                    and vaddr >> PAGE_SHIFT == self._mc_vpn
+            tlb = self.tlb
+            vpn = vaddr >> PAGE_SHIFT
+            if self._plan_gen == tlb.content_gen:
+                rec = self._plan.get(vpn)
+                if rec is not None:
+                    entry, base, prm, crypto = rec
+                    if entry.perms & PERM_W:
+                        gen = tlb.generation
+                        mc_fresh = self._mc_gen == gen
+                        if not mc_fresh or vpn != self._mc_vpn:
+                            entries = tlb._entries
+                            entries.pop(vpn, None)
+                            entries[vpn] = entry
+                            if len(entries) > tlb.capacity:
+                                del entries[next(iter(entries))]
+                            tlb.generation = gen + 1
+                            if mc_fresh:
+                                self._mc_vpn1 = self._mc_vpn
+                                self._mc_entry1 = self._mc_entry
+                            else:
+                                self._mc_vpn1 = -1
+                                self._mc_entry1 = None
+                            self._mc_vpn = vpn
+                            self._mc_entry = entry
+                            self._mc_gen = gen + 1
+                        paddr = base | off
+                        slots = self._slots
+                        slots[_SLOT_TLB_HIT] += 1
+                        breakdown = self._breakdown
+                        clock = self._clock
+                        lb = self._llc_lb
+                        first = paddr - (paddr % lb)
+                        if paddr + size - first <= lb:
+                            # See ``read``: inlined single-line probe.
+                            llc = self._llc
+                            lru = self._llc_sets[
+                                (first // lb) % self._llc_nsets]
+                            if first in lru:
+                                del lru[first]
+                                lru[first] = None
+                                llc.hits += 1
+                                slots[_SLOT_LLC_HIT] += 1
+                                breakdown["tlb_hit"] += self._tlb_hit_ns
+                                breakdown["cache_hit"] += \
+                                    self._cache_hit_ns
+                                clock._now_ns = (clock._now_ns
+                                                 + self._chg_hit)
+                            else:
+                                llc.misses += 1
+                                if len(lru) >= self._llc_ways:
+                                    del lru[next(iter(lru))]
+                                    llc.evictions += 1
+                                lru[first] = None
+                                slots[_SLOT_LLC_MISS] += 1
+                                breakdown["tlb_hit"] += self._tlb_hit_ns
+                                breakdown["dram"] += \
+                                    self._dram_access_ns
+                                if prm:
+                                    slots[_SLOT_MEE_LINE_ENC] += 1
+                                    breakdown["mee"] += \
+                                        self._mee_line_ns
+                                    clock._now_ns = (
+                                        clock._now_ns
+                                        + self._chg_miss_mee)
+                                else:
+                                    clock._now_ns = (clock._now_ns
+                                                     + self._chg_miss)
+                        else:
+                            total = self._tlb_hit_ns
+                            breakdown["tlb_hit"] += total
+                            hits, misses = self._llc_range(paddr, size)
+                            if hits:
+                                slots[_SLOT_LLC_HIT] += hits
+                                ns = hits * self._cache_hit_ns
+                                breakdown["cache_hit"] += ns
+                                total += ns
+                            if misses:
+                                slots[_SLOT_LLC_MISS] += misses
+                                ns = misses * self._dram_access_ns
+                                breakdown["dram"] += ns
+                                total += ns
+                                if prm:
+                                    slots[_SLOT_MEE_LINE_ENC] += misses
+                                    ns = misses * self._mee_line_ns
+                                    breakdown["mee"] += ns
+                                    total += ns
+                            clock._now_ns = clock._now_ns + total
+                        if crypto:
+                            self.machine._write_prm_plaintext(paddr, data)
+                            return
+                        frames = self._frames
+                        frame = frames.get(entry.pfn)
+                        if frame is None:
+                            frame = bytearray(PAGE_SIZE)
+                            frames[entry.pfn] = frame
+                        frame[off:off + size] = data
+                        return
+            if (self._mc_gen == tlb.generation
+                    and vpn == self._mc_vpn
                     and self._mc_entry.perms & PERM_W):
                 entry = self._mc_entry
-                self._slots[ctr.SLOT_TLB_HIT] += 1
+                self._slots[_SLOT_TLB_HIT] += 1
                 cost = self._cost
                 ns = cost._tlb_hit_ns
                 clock = cost.clock
                 clock._now_ns = clock._now_ns + ns
                 breakdown = cost.breakdown
-                breakdown["tlb_hit"] = breakdown.get("tlb_hit", 0.0) + ns
-            else:
-                entry = self._translate(vaddr, write=True)
+                breakdown["tlb_hit"] += ns
+                self._memside_write((entry.pfn << PAGE_SHIFT) | off, data)
+                return
+            entry = self._translate(vaddr, write=True)
             self._memside_write((entry.pfn << PAGE_SHIFT) | off, data)
             return
+        if size > 0 and self._plan_gen == self.tlb.content_gen:
+            if self._plan_run(vaddr, size, data) is not None:
+                return
         pos = 0
         while pos < size:
             entry = self._translate(vaddr, write=True)
-            off = vaddr & (PAGE_SIZE - 1)
+            off = vaddr & _PAGE_MASK
             chunk = min(size - pos, PAGE_SIZE - off)
             paddr = (entry.pfn << PAGE_SHIFT) | off
             self.machine.memside_write(paddr, data[pos:pos + chunk])

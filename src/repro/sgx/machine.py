@@ -167,19 +167,19 @@ class Machine:
         if hits:
             slots[ctr.SLOT_LLC_HIT] += hits
             ns = hits * self._cache_hit_ns
-            breakdown["cache_hit"] = breakdown.get("cache_hit", 0.0) + ns
+            breakdown["cache_hit"] += ns
             total = ns
         if misses:
             slots[ctr.SLOT_LLC_MISS] += misses
             ns = misses * self._dram_access_ns
-            breakdown["dram"] = breakdown.get("dram", 0.0) + ns
+            breakdown["dram"] += ns
             total += ns
             if self._prm_lo <= paddr < self._prm_hi:
                 which = (ctr.SLOT_MEE_LINE_ENC if writeback
                          else ctr.SLOT_MEE_LINE_DEC)
                 slots[which] += misses
                 ns = misses * self._mee_line_ns
-                breakdown["mee"] = breakdown.get("mee", 0.0) + ns
+                breakdown["mee"] += ns
                 total += ns
         clock = self.clock
         clock._now_ns = clock._now_ns + total
@@ -196,17 +196,17 @@ class Machine:
         if hits:
             slots[ctr.SLOT_LLC_HIT] += hits
             ns = hits * self._cache_hit_ns
-            breakdown["cache_hit"] = breakdown.get("cache_hit", 0.0) + ns
+            breakdown["cache_hit"] += ns
             total = ns
         if misses:
             slots[ctr.SLOT_LLC_MISS] += misses
             ns = misses * self._dram_access_ns
-            breakdown["dram"] = breakdown.get("dram", 0.0) + ns
+            breakdown["dram"] += ns
             total += ns
             if in_prm:
                 slots[ctr.SLOT_MEE_LINE_DEC] += misses
                 ns = misses * self._mee_line_ns
-                breakdown["mee"] = breakdown.get("mee", 0.0) + ns
+                breakdown["mee"] += ns
                 total += ns
         clock = self.clock
         clock._now_ns = clock._now_ns + total
@@ -234,17 +234,17 @@ class Machine:
         if hits:
             slots[ctr.SLOT_LLC_HIT] += hits
             ns = hits * self._cache_hit_ns
-            breakdown["cache_hit"] = breakdown.get("cache_hit", 0.0) + ns
+            breakdown["cache_hit"] += ns
             total = ns
         if misses:
             slots[ctr.SLOT_LLC_MISS] += misses
             ns = misses * self._dram_access_ns
-            breakdown["dram"] = breakdown.get("dram", 0.0) + ns
+            breakdown["dram"] += ns
             total += ns
             if in_prm:
                 slots[ctr.SLOT_MEE_LINE_ENC] += misses
                 ns = misses * self._mee_line_ns
-                breakdown["mee"] = breakdown.get("mee", 0.0) + ns
+                breakdown["mee"] += ns
                 total += ns
         clock = self.clock
         clock._now_ns = clock._now_ns + total

@@ -50,6 +50,16 @@ class Tlb:
         #: taken when the cached entry provably is still the TLB's MRU
         #: entry — making the skipped ``lookup`` unobservable.
         self.generation = 0
+        #: Bumped only on operations that can change *contents* — insert
+        #: (which may capacity-evict), flush, invalidate_pfn, restore —
+        #: never on lookup (promotion only reorders recency).  The
+        #: per-core access-plan cache (:class:`repro.sgx.cpu.Core`)
+        #: snapshots this value: while it is unchanged, every entry that
+        #: was in the TLB at snapshot time provably still is, so a
+        #: compiled page-run may charge tlb_hit per page without
+        #: consulting the TLB.  Monotonic, never rewound (see
+        #: :meth:`restore`).
+        self.content_gen = 0
 
     def lookup(self, vpn: int) -> TlbEntry | None:
         entries = self._entries
@@ -67,11 +77,13 @@ class Tlb:
         if len(entries) > self.capacity:
             del entries[next(iter(entries))]
         self.generation += 1
+        self.content_gen += 1
 
     def flush(self) -> None:
         self._entries.clear()
         self.flush_count += 1
         self.generation += 1
+        self.content_gen += 1
 
     def invalidate_pfn(self, pfn: int) -> int:
         """Drop every entry mapping to ``pfn``. Returns #dropped.
@@ -84,6 +96,7 @@ class Tlb:
         for vpn in victims:
             del self._entries[vpn]
         self.generation += 1
+        self.content_gen += 1
         return len(victims)
 
     def entries(self) -> list[TlbEntry]:
@@ -98,14 +111,16 @@ class Tlb:
     def restore(self, snapshot: tuple) -> None:
         """Rebuild contents from :meth:`capture`.
 
-        ``generation`` is *bumped*, never rewound: the per-core micro-cache
-        compares generations for equality, so any rewind could make a stale
-        micro-cache entry look current again.
+        ``generation`` and ``content_gen`` are *bumped*, never rewound:
+        the per-core micro-cache and access-plan cache compare
+        generations for equality, so any rewind could make a stale
+        cached entry look current again.
         """
         self._entries.clear()
         for vpn, pfn, perms, context_eid in snapshot:
             self._entries[vpn] = TlbEntry(vpn, pfn, perms, context_eid)
         self.generation += 1
+        self.content_gen += 1
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -31,6 +31,18 @@ class TestScheduleGeneration:
         schedule = generate_schedule(3, with_faults=True)
         assert isinstance(schedule.fault_seed, int)
 
+    def test_bulk_storm_is_drawn_by_the_corpus(self):
+        """The op alphabet includes bulk_storm and the CI quick corpus
+        (seeds 0..19) actually exercises it."""
+        assert "bulk_storm" in OP_KINDS
+        drawn = [op for seed in range(20)
+                 for op in generate_schedule(seed).ops
+                 if op[0] == "bulk_storm"]
+        assert drawn
+        for _kind, pages, pattern_seed in drawn:
+            assert 1 <= pages <= 4
+            assert 0 <= pattern_seed < 256
+
     def test_round_trips_through_json_dict(self):
         schedule = generate_schedule(11, with_faults=True)
         reloaded = Schedule.from_dict(
@@ -77,6 +89,20 @@ class TestRealOracles:
         through both runs must not perturb either oracle."""
         report = fuzz(5, with_faults=True)
         assert report.findings == []
+
+    def test_bulk_storm_bursts_agree_across_paths(self):
+        """A schedule of back-to-back multi-page bursts interleaved
+        with evictions: the hardest shape for plan-cache invalidation,
+        pinned fast-vs-reference directly rather than hoping a seed
+        draws it."""
+        schedule = Schedule(seed=0, ops=(
+            ("bulk_storm", 4, 0x11), ("evict_reload", 2),
+            ("bulk_storm", 1, 0x22), ("poke", 0, 7),
+            ("bulk_storm", 3, 0x33), ("peek", 0)))
+        rules, fast, ref = diff_schedule(schedule)
+        assert rules == []
+        assert fast.fingerprint == ref.fingerprint
+        assert fast.digest == ref.digest
 
 
 def _stub(fast_values=None, ref_values=None, digest_drop=None):

@@ -34,6 +34,17 @@ GOLDEN_KILLS = {
         "MC002",
         "nasso(E1 -> outer E0) -> eenter(core0, E1) "
         "-> probe alias-outer(core0, E0.data0)"),
+    # The frozen-epoch plan cache (ISSUE 7): a compiled plan serves the
+    # shadowed outer page straight past the re-pointed page table — one
+    # touch to compile the plan, then the probe reads through it with
+    # no validator run.  Each label is load-bearing: drop the nasso and
+    # the touch aborts; drop the eenter and the touch runs untrusted;
+    # drop the touch and there is no plan, so the real validator #PFs.
+    "plan-cache-skips-validation": (
+        "MC003",
+        "nasso(E1 -> outer E0) -> eenter(core0, E1) "
+        "-> touch(core0, E0.data0) "
+        "-> probe shadow-outer(core0, E0.data0)"),
     "skip-outside-elrange-pf": (
         "MC003",
         "nasso(E1 -> outer E0) -> eenter(core0, E1) "

@@ -1,4 +1,4 @@
-"""Simulation-integrity lint: synthetic violations for SIM001–SIM005,
+"""Simulation-integrity lint: synthetic violations for SIM001–SIM008,
 suppression syntax, allowlists, and the JSON report shape."""
 
 import json
@@ -327,6 +327,69 @@ class TestSim007:
         result = _lint(tmp_path, """
         def patch(tcs):
             tcs.aex_count = 0  # simlint: disable=SIM007
+        """)
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestSim008:
+    def test_validator_call_in_bulk_path_flagged(self, tmp_path):
+        result = _lint(tmp_path, """
+        def bulk_read(self, vaddr, size):
+            entry = self.machine.validator.validate(self, vaddr)
+            return entry
+        """)
+        assert _rules(result) == ["SIM008"]
+        finding = result.findings[0]
+        assert "plan-compiled" in finding.message
+        assert finding.symbol == "bulk_read:validator.validate"
+
+    def test_module_level_call_flagged(self, tmp_path):
+        result = _lint(tmp_path, """
+        ENTRY = MACHINE.validator.validate(CORE, 0x1000)
+        """)
+        assert _rules(result) == ["SIM008"]
+        assert result.findings[0].symbol == "<module>:validator.validate"
+
+    def test_translate_leaf_allowlisted_by_default(self, tmp_path):
+        result = _lint(tmp_path, """
+        def _translate(self, vaddr):
+            return self.machine.validator.validate(self, vaddr)
+        """, name="repro/sgx/cpu.py")
+        assert result.findings == []
+
+    def test_other_function_in_allowlisted_module_still_flagged(
+            self, tmp_path):
+        """The allowlist is per-leaf (module:function), not per-module:
+        a *new* validator call site inside repro.sgx.cpu sidesteps the
+        plan cache's invalidation discipline and must be flagged."""
+        result = _lint(tmp_path, """
+        def _plan_run(self, vaddr):
+            return self.machine.validator.validate(self, vaddr)
+        """, name="repro/sgx/cpu.py")
+        assert _rules(result) == ["SIM008"]
+
+    def test_unrelated_validate_calls_pass(self, tmp_path):
+        result = _lint(tmp_path, """
+        def check(schema, doc, core, vaddr):
+            schema.validate(doc)
+            return core.validator.revalidate(vaddr)
+        """)
+        assert result.findings == []
+
+    def test_custom_allowlist(self, tmp_path):
+        config = SimlintConfig(
+            sim008_allowed=frozenset({"pkg.victim:fast_path"}))
+        result = _lint(tmp_path, """
+        def fast_path(self, vaddr):
+            return self.machine.validator.validate(self, vaddr)
+        """, config=config)
+        assert result.findings == []
+
+    def test_suppression_applies(self, tmp_path):
+        result = _lint(tmp_path, """
+        def probe(core, vaddr):
+            return core.machine.validator.validate(core, vaddr)  # simlint: disable=SIM008
         """)
         assert result.findings == []
         assert result.suppressed == 1

@@ -1,0 +1,110 @@
+"""The bench_memsys CLI surface: ``--rounds``/``--check``/``--json``
+semantics, the snapshot write path, and the budget-check exit codes the
+``bench-smoke`` CI job relies on.  Timers are stubbed — host-time
+*values* are the business of tests/perf/test_host_budget.py."""
+
+import json
+
+import pytest
+
+from repro.perf import bench_memsys
+
+
+@pytest.fixture
+def stub_timers(monkeypatch):
+    """Replace every timer with cheap stubs recording the rounds used."""
+    calls = {}
+
+    def timer(name, value):
+        def run(rounds=bench_memsys.ROUNDS):
+            calls[name] = rounds
+            return value
+        return run
+
+    monkeypatch.setattr(bench_memsys, "time_fig11_s", timer("fig11", 1.5))
+    monkeypatch.setattr(bench_memsys, "time_epc_pressure_s",
+                        timer("epc", 0.5))
+    monkeypatch.setattr(bench_memsys, "time_fingerprint_workloads_s",
+                        timer("workloads", {"ring_channel": 0.1}))
+    return calls
+
+
+@pytest.fixture
+def tmp_snapshot(tmp_path, monkeypatch):
+    path = tmp_path / bench_memsys.SNAPSHOT_NAME
+    monkeypatch.setattr(bench_memsys, "snapshot_path", lambda: path)
+    return path
+
+
+class TestCollectAndWrite:
+    def test_default_invocation_writes_the_snapshot(
+            self, stub_timers, tmp_snapshot, capsys):
+        assert bench_memsys.main([]) == 0
+        data = json.loads(tmp_snapshot.read_text())
+        assert data["run_fig11_s"] == 1.5
+        assert data["epc_pressure_s"] == 0.5
+        assert data["rounds"] == bench_memsys.ROUNDS
+        assert data["budget_factor"] == bench_memsys.BUDGET_FACTOR
+        assert "wrote" in capsys.readouterr().out
+
+    def test_rounds_flag_threads_through_every_timer(
+            self, stub_timers, tmp_snapshot):
+        assert bench_memsys.main(["--rounds", "1"]) == 0
+        assert stub_timers == {"fig11": 1, "epc": 1, "workloads": 1}
+        assert json.loads(tmp_snapshot.read_text())["rounds"] == 1
+
+    def test_json_flag_prints_without_writing(
+            self, stub_timers, tmp_snapshot, capsys):
+        assert bench_memsys.main(["--json"]) == 0
+        assert not tmp_snapshot.exists()
+        data = json.loads(capsys.readouterr().out)
+        assert data["run_fig11_s"] == 1.5
+
+
+class TestCheck:
+    @pytest.fixture(autouse=True)
+    def _no_skip_env(self, monkeypatch):
+        # The surrounding pytest run may legitimately export the skip
+        # escape; these tests pin --check's own behaviour.
+        monkeypatch.delenv("REPRO_SKIP_HOST_BUDGET", raising=False)
+
+    def _write_snapshot(self, path, **legs):
+        payload = {"budget_factor": 2.0}
+        payload.update(legs)
+        path.write_text(json.dumps(payload))
+
+    def test_within_budget_exits_zero(self, stub_timers, tmp_snapshot,
+                                      capsys):
+        self._write_snapshot(tmp_snapshot, run_fig11_s=1.0,
+                             epc_pressure_s=0.4)
+        assert bench_memsys.main(["--check", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "run_fig11_s" in out and "ok" in out
+        assert stub_timers == {"fig11": 1, "epc": 1}
+
+    def test_budget_breach_exits_one(self, stub_timers, tmp_snapshot,
+                                     capsys):
+        # fig11 stub reports 1.5s against a 0.5s * 2.0 = 1.0s budget.
+        self._write_snapshot(tmp_snapshot, run_fig11_s=0.5,
+                             epc_pressure_s=0.4)
+        assert bench_memsys.main(["--check"]) == 1
+        assert "OVER BUDGET" in capsys.readouterr().out
+
+    def test_skip_env_short_circuits(self, stub_timers, tmp_snapshot,
+                                     monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SKIP_HOST_BUDGET", "1")
+        assert bench_memsys.main(["--check"]) == 0
+        assert "skipped" in capsys.readouterr().out
+        assert stub_timers == {}
+
+    def test_missing_snapshot_is_not_an_error(self, stub_timers,
+                                              tmp_snapshot, capsys):
+        assert bench_memsys.main(["--check"]) == 0
+        assert "nothing to check" in capsys.readouterr().out
+
+    def test_missing_leg_is_skipped(self, stub_timers, tmp_snapshot,
+                                    capsys):
+        # A snapshot from before the EPC-pressure leg existed.
+        self._write_snapshot(tmp_snapshot, run_fig11_s=1.0)
+        assert bench_memsys.main(["--check"]) == 0
+        assert "not in snapshot" in capsys.readouterr().out

@@ -31,6 +31,8 @@ GOLDEN = {
         "950b29cf7316f1a0e7eaa02c9a89268e03283804222b02252d45334b3f684c2a",
     "eviction_pressure":
         "179ec7ac3cf560c8e012ae6377791ab09c6fbf99ca465e2199f824cd581c2797",
+    "bulk_copy":
+        "2ff9a98df0b4edc4640888b62fe04169ac10428ef73de586984f36bc4c6cf1eb",
 }
 
 
@@ -49,6 +51,30 @@ def test_fingerprint_matches_golden(name):
 
 def test_fingerprints_are_reproducible_within_process():
     assert compute_fingerprints() == compute_fingerprints()
+
+
+def test_bulk_copy_compiled_matches_reference_paths():
+    """The access-plan compiler's hot shape must be byte-identical to
+    the per-line reference replay (``MachineConfig.reference_paths``
+    keeps the compiler dead), including the transition-log digest —
+    plan compilation records no transitions."""
+    from repro.perf.fingerprint import bulk_pair, transition_digest
+    from repro.sgx.constants import PAGE_SIZE
+
+    def run(**overrides):
+        host, outer, _inner = bulk_pair(**overrides)
+        span, dst = 6 * PAGE_SIZE, 8 * PAGE_SIZE
+        outer.ecall("fill", 0, span, 0x5A)
+        outer.ecall("blast", 0, dst, span, 2)
+        outer.ecall("delegate", dst, 0, span)
+        assert outer.ecall("checksum", 0, span) \
+            == outer.ecall("checksum", dst, span)
+        machine = host.machine
+        return machine_fingerprint(machine), transition_digest(machine)
+
+    assert run() == run(reference_paths=True) \
+        == (GOLDEN["bulk_copy"],
+            "057c0c8f5b42d887302334d2ecc37f54d2feb23cde23cbcc6157bb52b8c754dc")
 
 
 class TestResultFingerprint:

@@ -1,9 +1,10 @@
-"""Host-time budget guard for the memory-system hot path.
+"""Host-time budget guards for the memory-system hot path.
 
-Fails when one ``run_fig11`` sweep takes more than ``budget_factor``
-(2x) the host time recorded in the checked-in ``BENCH_memsys.json``
-snapshot — the canary for accidentally reverting the aggregated
-charging / micro-cache fast paths to per-line, per-lookup work.
+Fail when one ``run_fig11`` sweep (or one EPC-pressure leg) takes more
+than ``budget_factor`` (2x) the host time recorded in the checked-in
+``BENCH_memsys.json`` snapshot — the canary for accidentally reverting
+the aggregated charging / micro-cache / access-plan fast paths to
+per-line, per-lookup work.
 
 Wall-clock tests are inherently noisy; set ``REPRO_SKIP_HOST_BUDGET=1``
 to skip (e.g. on heavily loaded CI boxes or under coverage/profiling
@@ -41,4 +42,25 @@ def test_fig11_within_host_budget():
         f"{budget_s:.2f}s budget ({snapshot['budget_factor']}x the "
         f"{snapshot['run_fig11_s']}s snapshot in {path.name}); if the "
         f"box is simply slower, regenerate the snapshot with "
+        f"`PYTHONPATH=src python -m repro.perf.bench_memsys`")
+
+
+def test_epc_pressure_within_host_budget():
+    path = snapshot_path()
+    if not path.exists():
+        pytest.skip(f"no {path.name} snapshot in this checkout")
+    snapshot = json.loads(path.read_text())
+    if "epc_pressure_s" not in snapshot:
+        pytest.skip("snapshot predates the EPC-pressure leg")
+    budget_s = snapshot["epc_pressure_s"] * snapshot["budget_factor"]
+
+    from repro.perf.bench_memsys import run_epc_pressure
+    with Stopwatch() as watch:
+        run_epc_pressure()
+    assert watch.elapsed_s <= budget_s, (
+        f"the EPC-pressure leg took {watch.elapsed_s:.2f}s host time, "
+        f"over the {budget_s:.2f}s budget "
+        f"({snapshot['budget_factor']}x the "
+        f"{snapshot['epc_pressure_s']}s snapshot in {path.name}); if "
+        f"the box is simply slower, regenerate the snapshot with "
         f"`PYTHONPATH=src python -m repro.perf.bench_memsys`")

@@ -66,10 +66,10 @@ class TestTier1Gate:
         assert "push" in triggers
         assert "pull_request" in triggers
 
-    def test_six_separate_jobs(self):
+    def test_seven_separate_jobs(self):
         assert set(_load("ci.yml")["jobs"]) == \
             {"tests", "ruff", "analysis", "modelcheck", "chaos",
-             "orderliness"}
+             "orderliness", "bench-smoke"}
 
     def test_python_matrix_is_39_and_312(self):
         tests = _load("ci.yml")["jobs"]["tests"]
@@ -123,6 +123,18 @@ class TestTier1Gate:
         assert any(
             "python -m repro.analysis --only orderliness" in run
             for step in orderliness["steps"]
+            for run in [step.get("run", "")])
+
+    def test_bench_smoke_checks_the_budget_with_escape_hatch(self):
+        smoke = _load("ci.yml")["jobs"]["bench-smoke"]
+        assert smoke["env"]["PYTHONPATH"] == "src"
+        # The escape hatch must be declared (flippable without a
+        # workflow rewrite), but the job only bites while it is off.
+        assert smoke["env"]["REPRO_SKIP_HOST_BUDGET"] == "0"
+        assert any(
+            run.strip() ==
+            "python -m repro.perf.bench_memsys --rounds 1 --check"
+            for step in smoke["steps"]
             for run in [step.get("run", "")])
 
     def test_modelcheck_job_exhausts_default_scope(self):

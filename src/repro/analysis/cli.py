@@ -8,7 +8,9 @@ Examples::
     python -m repro.analysis --only orderliness   # transition-log replay
     python -m repro.analysis --check modelcheck   # bounded model checker
     python -m repro.analysis --check modelcheck --scope deep
-    python -m repro.analysis --mutate all         # mutation kill-list
+    python -m repro.analysis --only flow          # interprocedural dataflow
+    python -m repro.analysis --mutate all         # model-checker kill-list
+    python -m repro.analysis --only flow --mutate all  # flow-engine kill-list
     python -m repro.analysis --format json        # machine-readable
     python -m repro.analysis --sarif out.sarif    # code-scanning upload
     python -m repro.analysis --baseline base.json # ignore grandfathered
@@ -40,6 +42,7 @@ ONLY_ALIASES = {
     "taint": "taint",
     "modelcheck": "modelcheck",
     "orderliness": "orderliness",
+    "flow": "flow",
 }
 
 
@@ -68,10 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bounded scope for the model checker "
                              "(default: default)")
     parser.add_argument("--mutate", default=None, metavar="NAME",
-                        help="model-checker self-validation: apply the "
-                             "named validator mutation ('all' or a "
-                             "comma-separated list) and require the "
-                             "explorer to kill it")
+                        help="self-validation: apply the named mutation "
+                             "('all' or a comma-separated list) and "
+                             "require the analysis to kill it; targets "
+                             "the model checker by default, the dataflow "
+                             "engine under --only flow")
     parser.add_argument("--root", default=None,
                         help="repo root (directory containing src/); "
                              "default: auto-detected")
@@ -88,7 +92,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_flow_mutate(args) -> int:
+    from repro.analysis.flow import run_flow_mutations
+    from repro.analysis.runner import repo_root
+
+    names = None if args.mutate == "all" else \
+        [n.strip() for n in args.mutate.split(",") if n.strip()]
+    root = Path(args.root) if args.root else repo_root()
+    try:
+        outcomes = run_flow_mutations(root, names)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    survivors = 0
+    for outcome in outcomes:
+        if outcome.killed:
+            print(f"KILLED   {outcome.name} "
+                  f"[{outcome.expected_rule}]: {outcome.witness}")
+        else:
+            survivors += 1
+            print(f"SURVIVED {outcome.name} "
+                  f"[expected {outcome.expected_rule}]")
+    print(f"{len(outcomes) - survivors}/{len(outcomes)} flow mutation(s) "
+          "killed")
+    return 1 if survivors else 0
+
+
 def _run_mutate(args) -> int:
+    if args.only == "flow":
+        return _run_flow_mutate(args)
     from repro.analysis.modelcheck import MUTATIONS, run_mutation_kill
 
     if args.mutate == "all":

@@ -60,16 +60,27 @@ class Report:
         self.suppressed += other.suppressed
         self.passes.extend(p for p in other.passes if p not in self.passes)
 
+    @staticmethod
+    def order_key(finding: Finding) -> tuple:
+        """Canonical report order: rule family first, then location.
+
+        Grouping by rule keeps all findings of one family adjacent in
+        text/JSON/SARIF output regardless of which pass emitted them or
+        in what order passes ran — never dict/insertion order, so
+        baselines and CI logs are byte-stable across runs.
+        """
+        return (finding.rule, finding.path, finding.line,
+                finding.message, finding.symbol)
+
     def dedupe(self) -> None:
-        """Collapse identical findings from overlapping passes and fix a
-        fully deterministic order (the Finding dataclass sort key:
-        path, line, rule, message, symbol) — never dict/insertion order,
-        so baselines and CI logs are stable across runs."""
-        self.findings[:] = sorted(set(self.findings))
+        """Collapse identical findings from overlapping passes and fix
+        the canonical (rule, path, line, message, symbol) order."""
+        self.findings[:] = sorted(set(self.findings), key=self.order_key)
 
     def new_findings(self, baseline: frozenset[str]) -> list[Finding]:
-        return sorted(f for f in self.findings
-                      if f.fingerprint not in baseline)
+        return sorted((f for f in self.findings
+                       if f.fingerprint not in baseline),
+                      key=self.order_key)
 
     def render_text(self, baseline: frozenset[str] = frozenset()) -> str:
         new = self.new_findings(baseline)
@@ -88,7 +99,8 @@ class Report:
         new = self.new_findings(baseline)
         return json.dumps({
             "passes": self.passes,
-            "findings": [f.to_dict() for f in sorted(self.findings)],
+            "findings": [f.to_dict()
+                         for f in sorted(self.findings, key=self.order_key)],
             "new": [f.fingerprint for f in new],
             "suppressed": self.suppressed,
             "ok": not new,
@@ -112,7 +124,10 @@ def load_baseline(path: str | Path | None) -> frozenset[str]:
         entries = data["findings"]
         if not all(isinstance(e, str) for e in entries):
             raise TypeError("non-string fingerprint")
-    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        # OSError: unreadable / is-a-directory; ValueError covers both
+        # JSONDecodeError and UnicodeDecodeError (binary garbage).  All
+        # become AnalysisError so the CLI exits 2, never a traceback.
         raise AnalysisError(f"malformed baseline file {path}: {exc}") from exc
     return frozenset(entries)
 

@@ -1,0 +1,31 @@
+"""Whole-repo interprocedural dataflow engine.
+
+Builds a call graph over every module in ``src/repro`` and runs four
+checks through the shared findings/baseline/SARIF pipeline:
+
+* **FLOW001** — key material reaching ocall / transition-log sinks
+  through any helper chain (supersedes the taint pass's allowlist);
+* **FLOW002** — every successful path through a memory-touch entry
+  point passes a CostModel charge seam;
+* **FLOW003** — host-clock / unseeded-RNG effects reachable from the
+  fingerprint-feeding modules;
+* **FLOW004** — Tcs/Secs lifecycle mutation smuggled through helpers
+  outside the ISA allowlist.
+
+The engine self-validates via a named mutation corpus
+(:mod:`repro.analysis.flow.mutations`): ``--mutate all`` under
+``--only flow`` must kill every defect with a call-path witness.
+"""
+
+from repro.analysis.flow.config import DEFAULT_CONFIG, FlowConfig
+from repro.analysis.flow.engine import FlowResult, analyze_graph, run_flow
+from repro.analysis.flow.graph import CallGraph, FunctionInfo, build_graph
+from repro.analysis.flow.mutations import (MUTATIONS, FlowMutation,
+                                           MutationOutcome,
+                                           run_flow_mutations)
+
+__all__ = [
+    "DEFAULT_CONFIG", "FlowConfig", "FlowResult", "analyze_graph",
+    "run_flow", "CallGraph", "FunctionInfo", "build_graph",
+    "MUTATIONS", "FlowMutation", "MutationOutcome", "run_flow_mutations",
+]

@@ -1,0 +1,88 @@
+"""FLOW004 — lifecycle-mutation escape through helpers.
+
+SIM007 flags direct assignments to Tcs/Secs lifecycle fields
+(``state``, ``saved_context``, ``aex_count``) outside the ISA modules —
+but only at the assignment site's own module.  FLOW004 closes the
+helper loophole: *any* function in the tree that performs such an
+assignment is an offender unless its module is in the SIM007 allowlist,
+and when the offender is reachable from the lifecycle drivers (the ISA
+leaves or the OS driver), the finding carries the witness call chain
+showing how driver code reaches the mutation.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.graph import CallGraph, FunctionInfo
+from repro.analysis.simlint import _LIFECYCLE_FIELDS
+
+RULE = "FLOW004"
+
+
+def _mutations(info: FunctionInfo) -> list:
+    """(line, field) for every lifecycle-field attribute assignment this
+    function performs (nested defs are their own graph nodes)."""
+    hits: list = []
+
+    def scan(node) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            if isinstance(child, (ast.Assign, ast.AugAssign)):
+                targets = child.targets if isinstance(child, ast.Assign) \
+                    else [child.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute) \
+                            and target.attr in _LIFECYCLE_FIELDS:
+                        hits.append((child.lineno, target.attr))
+            scan(child)
+
+    scan(info.node)
+    return hits
+
+
+def check_lifecycle_escape(graph: CallGraph, config) -> list:
+    """Offenders anywhere, witness chains from the lifecycle drivers."""
+    roots = [info.fid for module in config.lifecycle_entry_modules
+             for info in graph.in_module(module)]
+    parent: dict = {fid: None for fid in roots}
+    queue = deque(roots)
+    while queue:
+        fid = queue.popleft()
+        for succ in sorted(graph.strong.get(fid, ())
+                           | graph.weak.get(fid, ())):
+            if succ not in parent:
+                parent[succ] = fid
+                queue.append(succ)
+
+    findings: list = []
+    for fid in sorted(graph.functions):
+        info = graph.functions[fid]
+        if info.module.name in config.lifecycle_allowed:
+            continue
+        for line, field_name in _mutations(info):
+            if info.module.suppressed(line, RULE):
+                continue
+            if fid in parent:
+                chain: list = []
+                cursor = fid
+                while cursor is not None:
+                    chain.append(graph.functions[cursor].qualname)
+                    cursor = parent[cursor]
+                route = " → ".join(reversed(chain))
+                detail = (f"reached from lifecycle drivers via {route} → "
+                          f".{field_name} assignment at line {line}")
+            else:
+                detail = (f"{info.qualname} → .{field_name} assignment "
+                          "(not reachable from the ISA/driver roots, "
+                          "still outside the SIM007 allowlist)")
+            findings.append(Finding(
+                path=info.module.path, line=line, rule=RULE,
+                message=(f"enclave lifecycle field .{field_name} mutated "
+                         f"outside the ISA allowlist: {detail}"),
+                symbol=info.qualname))
+    return sorted(set(findings))

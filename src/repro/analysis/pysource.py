@@ -2,21 +2,32 @@
 
 Wraps one parsed module per file: dotted module name (for allowlists),
 repo-relative path (for diagnostics), the AST, and the per-line
-``# simlint: disable=RULE[,RULE…]`` suppressions.
+inline-comment directives.  One scanner serves every pass:
+
+* ``# simlint: disable=RULE[,RULE…]`` silences simlint/taint-family
+  findings on that line (``all`` silences every non-FLOW rule);
+* ``# flow: disable=RULE[,RULE…]`` silences flow-engine findings on
+  that line (``all`` here scopes to FLOW rules only — the two tags
+  never silence each other's families);
+* ``# flow: charged`` declares that the annotated statement satisfies
+  the FLOW002 charge-coverage obligation (used on intentionally
+  charge-free paths: zero-length accesses, decline-and-fall-back
+  returns, loops over by-construction non-empty collections).
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
 from repro.analysis.findings import AnalysisError
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+    r"#\s*(simlint|flow):\s*disable=([A-Za-z0-9_,\s]+)")
+_CHARGED_RE = re.compile(r"#\s*flow:\s*charged\b")
 
 
 @dataclass
@@ -27,21 +38,47 @@ class Module:
     name: str                      # dotted module name, e.g. "repro.sgx.mee"
     tree: ast.Module
     suppressions: dict[int, frozenset[str]]  # line -> disabled rule IDs
+    #: Lines carrying a ``# flow: charged`` declared-intent annotation.
+    charged: frozenset = field(default_factory=frozenset)
 
     def suppressed(self, line: int, rule: str) -> bool:
         rules = self.suppressions.get(line, frozenset())
-        return rule in rules or "all" in rules
+        if rule in rules:
+            return True
+        scope = "flow:all" if rule.startswith("FLOW") else "all"
+        return scope in rules
 
 
 def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Per-line disabled rule IDs, for both the simlint and flow tags.
+
+    A bare ``all`` under the ``flow:`` tag is stored as ``flow:all`` so
+    it only matches FLOW-family rules (see :meth:`Module.suppressed`);
+    the legacy ``simlint: disable=all`` keeps its unscoped spelling for
+    every other family.
+    """
     table: dict[int, frozenset[str]] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(text)
-        if match:
-            rules = frozenset(
-                r.strip() for r in match.group(1).split(",") if r.strip())
-            table[lineno] = rules
+        rules: set[str] = set()
+        for match in _SUPPRESS_RE.finditer(text):
+            tag = match.group(1)
+            for rule in match.group(2).split(","):
+                rule = rule.strip()
+                if not rule:
+                    continue
+                if rule == "all" and tag == "flow":
+                    rule = "flow:all"
+                rules.add(rule)
+        if rules:
+            table[lineno] = frozenset(rules)
     return table
+
+
+def parse_charged_lines(source: str) -> frozenset:
+    """Lines annotated ``# flow: charged`` (FLOW002 declared intent)."""
+    return frozenset(
+        lineno for lineno, text in enumerate(source.splitlines(), start=1)
+        if _CHARGED_RE.search(text))
 
 
 def load_module(file: Path, root: Path) -> Module:
@@ -58,7 +95,8 @@ def load_module(file: Path, root: Path) -> Module:
     if parts[-1] == "__init__":
         parts.pop()
     return Module(path=rel.as_posix(), name=".".join(parts), tree=tree,
-                  suppressions=parse_suppressions(source))
+                  suppressions=parse_suppressions(source),
+                  charged=parse_charged_lines(source))
 
 
 def iter_modules(package_dir: Path, root: Path) -> Iterator[Module]:

@@ -16,7 +16,7 @@ from repro.analysis.findings import AnalysisError, Report
 PASSES = ("edl", "sim", "taint")
 
 #: Opt-in checks accepted alongside PASSES.
-EXTRA_CHECKS = ("modelcheck", "orderliness")
+EXTRA_CHECKS = ("modelcheck", "orderliness", "flow")
 
 
 def repo_root() -> Path:
@@ -46,6 +46,8 @@ def run_repo_analysis(root: Path | None = None,
             report.extend(_run_modelcheck_pass(modelcheck_scope))
         elif name == "orderliness":
             report.extend(_run_orderliness_pass())
+        elif name == "flow":
+            report.extend(_run_flow_pass(root))
         else:
             raise AnalysisError(
                 f"unknown pass {name!r}; choose from "
@@ -73,3 +75,11 @@ def _run_orderliness_pass() -> Report:
     from repro.analysis import orderliness
 
     return orderliness.run_orderliness()
+
+
+def _run_flow_pass(root: Path) -> Report:
+    # Lazy: the flow engine parses and summarizes the whole tree to
+    # fixpoint — opt-in like the other heavy checks.
+    from repro.analysis import flow
+
+    return flow.run_flow(root).report

@@ -27,15 +27,41 @@ RULE_SUMMARIES = {
     "SIM003": "unseeded RNG in deterministic simulation code",
     "SIM004": "bare/broad except hides simulation faults",
     "SIM005": "hard-coded latency constant outside perf.costmodel",
+    "SIM006": "host time/shared RNG consulted in fault-injection or "
+              "recovery code",
+    "SIM007": "Tcs/Secs lifecycle field assigned outside the ISA modules",
+    "SIM008": "per-access validator call outside the allowlisted "
+              "translation leaves",
     "TAINT001": "key material flows into an ocall argument",
     "TAINT002": "key material flows into an EDL-declared untrusted "
                 "out-parameter",
+    "TAINT003": "key material flows into a transition-log payload",
     "MC001": "reachable state violates a §VII-A TLB invariant",
     "MC002": "lattice-forbidden access was inserted (untrusted->EPC, "
              "peer, outer->inner, or VA alias)",
     "MC003": "shadowed/evicted outer address fell through to unsecure "
              "memory",
     "MC004": "outer-chain walk failed to terminate within budget",
+    "ORD001": "illegal entry (busy TCS, re-entry, or unassociated "
+              "nested pair)",
+    "ORD002": "LIFO violation: exit skips or mismatches live nested "
+              "frames",
+    "ORD003": "AEX misuse: parked outside enclave mode or onto a "
+              "parked/foreign TCS",
+    "ORD004": "ERESUME misuse: double resume or no parked context",
+    "ORD005": "enclave-only operation or exit recorded outside enclave "
+              "mode",
+    "DIFF001": "fast/reference runs diverged in a value or the machine "
+               "fingerprint",
+    "DIFF002": "fast/reference transition-log digests diverged",
+    "FLOW001": "key material reaches an ocall/transition-log sink "
+               "through a helper call chain",
+    "FLOW002": "memory-touch entry point has a path that never charges "
+               "the cost model",
+    "FLOW003": "host-clock/unseeded-RNG effect reachable from "
+               "fingerprint-feeding code",
+    "FLOW004": "enclave lifecycle field mutated through helpers outside "
+               "the ISA allowlist",
 }
 
 
@@ -43,7 +69,7 @@ def render_sarif(report: Report,
                  baseline: frozenset = frozenset()) -> str:
     rules_seen = sorted({f.rule for f in report.findings})
     results = []
-    for finding in sorted(report.findings):
+    for finding in sorted(report.findings, key=Report.order_key):
         results.append({
             "ruleId": finding.rule,
             "level": ("note" if finding.fingerprint in baseline

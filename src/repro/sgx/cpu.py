@@ -326,7 +326,9 @@ class Core:
         while vpn <= last:
             rec = plan.get(vpn)
             if rec is None or not rec[0].perms & needed:
-                return None
+                # Decline: no memory touched; the caller falls back to
+                # the per-page slow path, which charges.
+                return None  # flow: charged
             recs.append(rec)
             vpn += 1
         tlb = self.tlb
@@ -536,7 +538,7 @@ class Core:
             if run is not None:
                 return run
         out = bytearray()
-        while size > 0:
+        while size > 0:  # flow: charged — zero-length read touches nothing
             entry = self._translate(vaddr, write=False)
             off = vaddr & _PAGE_MASK
             chunk = min(size, PAGE_SIZE - off)
@@ -671,7 +673,7 @@ class Core:
             if self._plan_run(vaddr, size, data) is not None:
                 return
         pos = 0
-        while pos < size:
+        while pos < size:  # flow: charged — zero-length write is free
             entry = self._translate(vaddr, write=True)
             off = vaddr & _PAGE_MASK
             chunk = min(size - pos, PAGE_SIZE - off)

@@ -179,7 +179,11 @@ def ewb(machine: Machine, frame: int, va: VersionArray,
     machine.cost.charge_event("ewb_page")
     machine.trace("EWB", None, eid=hex(evicted.eid),
                   vaddr=hex(evicted.vaddr))
-    machine.log_transition("EWB", eid=evicted.eid, vaddr=evicted.vaddr)
+    # The payload is page *identity* (eid/vaddr integers), not key
+    # bytes; the record constructor makes the whole EvictedPage carry
+    # the seal-key taint, so the field reads over-approximate.
+    machine.log_transition("EWB", eid=evicted.eid,  # flow: disable=FLOW001
+                           vaddr=evicted.vaddr)
     return evicted
 
 

@@ -341,7 +341,9 @@ class Machine:
     def flush_all_tlbs(self) -> None:
         """IPI broadcast + flush on every core (the 'simplified, costlier'
         shootdown of §IV-E)."""
-        for core in self.cores:
+        # flow: charged — each iteration charges one IPI; a machine with
+        # zero cores has no TLBs to shoot down.
+        for core in self.cores:  # flow: charged
             self.counters.bump(ctr.IPI)
             self.cost.charge_event("ipi")
             core.flush_tlb()

@@ -144,11 +144,65 @@ class TestBaseline:
         with pytest.raises(AnalysisError):
             load_baseline(bad)
 
+    def test_corrupt_baseline_exits_two_not_traceback(self, tmp_path,
+                                                      capsys):
+        """Binary garbage raises UnicodeDecodeError, which is not a
+        JSONDecodeError — the CLI must still exit 2, never traceback."""
+        bad = tmp_path / "bad.json"
+        bad.write_bytes(b"\xff\xfe\x00garbage\x80")
+        assert main(["--baseline", str(bad)]) == 2
+        assert "malformed baseline" in capsys.readouterr().err
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        """A directory path raises OSError on read — exit 2, no
+        traceback (chmod tricks don't work under root, a directory
+        is unreadable for everyone)."""
+        as_dir = tmp_path / "base.json"
+        as_dir.mkdir()
+        assert main(["--baseline", str(as_dir)]) == 2
+        assert "malformed baseline" in capsys.readouterr().err
+
+    def test_truncated_json_baseline_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"findings": ["SIM0')
+        assert main(["--baseline", str(bad)]) == 2
+        assert "malformed baseline" in capsys.readouterr().err
+
     def test_write_then_load_round_trip(self, tmp_path):
         report = Report(findings=[Finding("a.py", 3, "SIM002", "msg")])
         path = tmp_path / "b.json"
         write_baseline(path, report)
         assert load_baseline(path) == {report.findings[0].fingerprint}
+
+
+class TestReportOrdering:
+    FINDINGS = [
+        Finding("z.py", 9, "SIM002", "m1"),
+        Finding("a.py", 5, "TAINT001", "m2"),
+        Finding("a.py", 2, "FLOW001", "m3"),
+        Finding("a.py", 1, "SIM002", "m0"),
+        Finding("a.py", 2, "FLOW001", "m3"),  # duplicate collapses
+    ]
+
+    def test_dedupe_orders_by_rule_then_location(self):
+        """Pinned canonical order: rule family groups first, then path,
+        line, message — independent of pass execution order."""
+        report = Report(findings=list(self.FINDINGS))
+        report.dedupe()
+        assert [(f.rule, f.path, f.line) for f in report.findings] == [
+            ("FLOW001", "a.py", 2),
+            ("SIM002", "a.py", 1),
+            ("SIM002", "z.py", 9),
+            ("TAINT001", "a.py", 5),
+        ]
+
+    def test_render_json_is_byte_deterministic(self):
+        forward = Report(findings=list(self.FINDINGS))
+        backward = Report(findings=list(reversed(self.FINDINGS)))
+        forward.dedupe()
+        backward.dedupe()
+        assert forward.render_json() == backward.render_json()
+        assert forward.render_json() == forward.render_json()
 
 
 class TestRepoCopyRegression:

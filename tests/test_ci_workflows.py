@@ -66,10 +66,10 @@ class TestTier1Gate:
         assert "push" in triggers
         assert "pull_request" in triggers
 
-    def test_seven_separate_jobs(self):
+    def test_eight_separate_jobs(self):
         assert set(_load("ci.yml")["jobs"]) == \
             {"tests", "ruff", "analysis", "modelcheck", "chaos",
-             "orderliness", "bench-smoke"}
+             "orderliness", "bench-smoke", "flow"}
 
     def test_python_matrix_is_39_and_312(self):
         tests = _load("ci.yml")["jobs"]["tests"]
@@ -137,6 +137,14 @@ class TestTier1Gate:
             for step in smoke["steps"]
             for run in [step.get("run", "")])
 
+    def test_flow_job_runs_the_dataflow_engine(self):
+        flow = _load("ci.yml")["jobs"]["flow"]
+        assert flow["env"]["PYTHONPATH"] == "src"
+        assert any(
+            run.strip() == "python -m repro.analysis --only flow"
+            for step in flow["steps"]
+            for run in [step.get("run", "")])
+
     def test_modelcheck_job_exhausts_default_scope(self):
         modelcheck = _load("ci.yml")["jobs"]["modelcheck"]
         assert modelcheck["env"]["PYTHONPATH"] == "src"
@@ -180,7 +188,24 @@ class TestNightlyPipeline:
         runs = _runs(_load("nightly.yml"))
         assert any("--check modelcheck" in run and "--scope deep" in run
                    for run in runs)
-        assert any("--mutate all" in run for run in runs)
+        assert any("--mutate all" in run and "--only flow" not in run
+                   for run in runs)
+
+    def test_flow_mutate_job_kills_the_corpus_and_uploads_log(self):
+        flow = _load("nightly.yml")["jobs"]["flow-mutate"]
+        assert flow["env"]["PYTHONPATH"] == "src"
+        runs = [run for step in flow["steps"]
+                for run in [step.get("run", "")]]
+        mutate_runs = [run for run in runs
+                       if "--only flow --mutate all" in run]
+        assert mutate_runs
+        # The kill-list output is tee'd to the artifact; a pipe must
+        # not swallow a survivor's exit code.
+        assert "pipefail" in mutate_runs[0]
+        uploads = [step for step in flow["steps"]
+                   if "upload-artifact" in step.get("uses", "")]
+        assert uploads and uploads[0].get("if") == "always()"
+        assert "flow-mutate.log" in uploads[0]["with"]["path"]
 
     def test_deep_chaos_sweep_uploads_replayable_plans(self):
         workflow = _load("nightly.yml")

@@ -47,6 +47,10 @@ class FlowConfig:
         "repro.perf.fingerprint",
         "repro.sgx.transitions",
         "repro.runner.results",
+        # The serving layer feeds the chaos fingerprints end to end
+        # (admission decisions, breaker trajectories, latency digests),
+        # so every repro.host function roots the closure too.
+        "repro.host",
     )
     #: Modules whose host-clock/RNG effects are sanctioned: wallclock is
     #: the one blessed helper (SIM002 allowlist), and the runner/bench

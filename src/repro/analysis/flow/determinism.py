@@ -73,8 +73,12 @@ def _nondet_effects(info: FunctionInfo, graph: CallGraph) -> list:
 
 def check_determinism_reachability(graph: CallGraph, config) -> list:
     """BFS closure from the fingerprint-feeding modules."""
-    roots = [info.fid for module in config.fingerprint_root_modules
-             for info in graph.in_module(module)]
+    # Root entries name either a module (exact) or a package (every
+    # submodule under it — ``repro.host`` covers the serving layer).
+    roots = [info.fid for info in graph.functions.values()
+             if any(info.module.name == root
+                    or info.module.name.startswith(root + ".")
+                    for root in config.fingerprint_root_modules)]
     parent: dict = {fid: None for fid in roots}
     queue = deque(roots)
     while queue:

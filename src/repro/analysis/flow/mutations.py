@@ -97,6 +97,23 @@ MUTATIONS: tuple = (
                "    time.time()\n"
                "    tag = mac(key, meta + ciphertext)\n")),
     FlowMutation(
+        name="clock-under-attested-handshake",
+        path="src/repro/sdk/attest.py",
+        expected_rule="FLOW003",
+        description="launder a host-clock read through a helper under "
+                    "mutual_attest — reachable from the serving "
+                    "layer's gateway enrollment, whose admit/shed "
+                    "decisions feed the chaos fingerprints",
+        before="    if replay_guard is not None:\n"
+               "        replay_guard.consume(nonce)\n",
+        after=("    _wall_probe()\n"
+               "    if replay_guard is not None:\n"
+               "        replay_guard.consume(nonce)\n"),
+        append=("\n\n"
+                "def _wall_probe():\n"
+                "    import time\n"
+                "    time.time()\n")),
+    FlowMutation(
         name="driver-helper-parks-tcs",
         path="src/repro/os/driver.py",
         expected_rule="FLOW004",

@@ -134,6 +134,7 @@ class SimlintConfig:
     #: exercises).
     sim006_fault_modules: tuple[str, ...] = (
         "repro.faults",
+        "repro.host",
         "repro.sdk.runtime",
         "repro.sdk.secure_channel",
         "repro.os.ipc",

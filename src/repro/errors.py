@@ -105,8 +105,70 @@ class ChannelTimeout(ChannelError):
     the lossy transport dropped the request or the response every time."""
 
 
+class DeadlineExceeded(ChannelError):
+    """A request's propagated deadline passed before a response arrived
+    (or before the server dispatched it) — the caller gets this typed
+    error instead of a hang or a silently late answer."""
+
+
 class CryptoError(ReproError):
     """Authenticated decryption failed, bad key sizes, etc."""
+
+
+# ---------------------------------------------------------------------------
+# Attestation-protocol errors
+# ---------------------------------------------------------------------------
+
+class AttestationError(ReproError):
+    """The attestation *protocol* layer rejected a handshake.
+
+    Distinct from :class:`MeasurementMismatch` (the hardware-model
+    verdict on a measurement): these are software-protocol rejections —
+    forged report MACs, replayed nonces, invalid resumption tickets."""
+
+
+class ReportForgery(AttestationError, MeasurementMismatch):
+    """A report failed cryptographic verification: the MAC does not
+    verify under the target's report key, or the report data does not
+    bind the value the protocol requires.  Subclasses
+    :class:`MeasurementMismatch` so legacy callers that catch the broad
+    class keep working."""
+
+
+class HandshakeReplay(AttestationError):
+    """A handshake nonce (or session resumption nonce) was presented
+    twice — a replayed handshake transcript, rejected before any key is
+    derived."""
+
+
+class TicketInvalid(AttestationError):
+    """A session-resumption ticket failed MAC verification or named an
+    unknown tenant."""
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer (host) errors
+# ---------------------------------------------------------------------------
+
+class HostError(ReproError):
+    """Base class for multi-tenant serving-layer failures."""
+
+
+class LoadShed(HostError):
+    """The host refused a request *before* doing work on it: the bounded
+    admission queue was full (``reason="queue"``), the tenant's token
+    bucket was empty (``reason="rate"``), or the target backend's
+    circuit breaker was open (``reason="breaker"``)."""
+
+    def __init__(self, message: str, reason: str = "queue"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class BackendUnavailable(HostError):
+    """A backend failed a request for a transient, retryable reason —
+    the signal the circuit breaker counts.  Never raised for integrity
+    failures: :class:`IntegrityViolation` is fail-stop."""
 
 
 class FaultInjectionError(ReproError):

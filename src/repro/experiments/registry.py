@@ -31,6 +31,7 @@ from typing import Callable
 
 from repro import experiments as exp
 from repro.experiments.report import ExperimentResult
+from repro.host import experiments as host_exp
 from repro.perf import wallclock
 
 #: Quick-variant dataset shrink factors for Figure 9 — half the bench
@@ -117,6 +118,21 @@ def _specs_paper() -> list[ExperimentSpec]:
             quick=lambda: exp.run_fig11(chunks=(64, 1024, 8192)),
             full=exp.run_fig11,
             budget_s=120, full_budget_s=600, cost_hint=6),
+        ExperimentSpec(
+            "host-serving",
+            quick=lambda: host_exp.run_host_serving(1000),
+            full=lambda: host_exp.run_host_serving(100_000),
+            budget_s=120, full_budget_s=900, cost_hint=1),
+        ExperimentSpec(
+            "host-overload",
+            quick=lambda: host_exp.run_host_overload(1000),
+            full=lambda: host_exp.run_host_overload(100_000),
+            budget_s=60, full_budget_s=400, cost_hint=0.3),
+        ExperimentSpec(
+            "host-failover",
+            quick=lambda: host_exp.run_host_failover(1000),
+            full=lambda: host_exp.run_host_failover(100_000),
+            budget_s=60, full_budget_s=600, cost_hint=0.3),
         ExperimentSpec(
             "ablation-d1", exp.run_d1_validation_cost,
             exp.run_d1_validation_cost,

@@ -1,0 +1,42 @@
+"""The multi-tenant enclave-host serving layer (ROADMAP's first open
+item — the paper's deployment story).
+
+Many mutually distrusting tenants share one outer enclave via nested
+inner enclaves (the Occlum layout); simulated clients reach them
+through an attestation-gated front door:
+
+* :mod:`repro.host.handshake` — EREPORT-verified enrollment per tenant
+  (``sdk/attest``), cheap ticket-based session resumption through a
+  gateway enclave ecall;
+* :mod:`repro.host.admission` — bounded admission queue + per-tenant
+  token buckets (typed :class:`~repro.errors.LoadShed`);
+* :mod:`repro.host.breaker` — per-backend circuit breaker
+  (closed/open/half-open on the simulated clock);
+* :mod:`repro.host.backends` — the enclave apps behind the front door
+  (echo / minidb / minisvm via ``apps/ports``);
+* :mod:`repro.host.service` — the bounded worker pool multiplexing
+  sessions on the simulated clock, with deadline propagation and
+  session resurrection;
+* :mod:`repro.host.loadgen` — seeded open/closed-loop arrival
+  generation with a zipfian tenant mix;
+* :mod:`repro.host.experiments` — the runner-registry entry points
+  (throughput + p50/p99 simulated latency at 1k–100k sessions).
+
+Every failure is a typed error (LoadShed / DeadlineExceeded /
+ChannelTimeout / IntegrityViolation), never a silent wrong answer, and
+the whole layer is deterministic under replay: chaos plans must leave
+the canonical results byte-identical (benign) or fail loudly (bitflip).
+"""
+
+from repro.host.admission import AdmissionQueue, TokenBucket
+from repro.host.breaker import CircuitBreaker
+from repro.host.handshake import HostGateway, SessionTicket
+from repro.host.loadgen import Arrival, LoadProfile, generate_arrivals
+from repro.host.service import HostConfig, HostService, HostStats
+
+__all__ = [
+    "AdmissionQueue", "TokenBucket", "CircuitBreaker",
+    "HostGateway", "SessionTicket",
+    "Arrival", "LoadProfile", "generate_arrivals",
+    "HostConfig", "HostService", "HostStats",
+]

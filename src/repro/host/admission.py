@@ -1,0 +1,92 @@
+"""Admission control: token buckets and the bounded admission queue.
+
+Both state machines run on *virtual* time (the load generator's arrival
+timeline) and are pure — no host clock, no unseeded randomness — so a
+replay of the same arrival schedule reproduces the same admit/shed
+decisions bit for bit.  Rejections are typed
+:class:`~repro.errors.LoadShed` (``reason="rate"`` / ``reason="queue"``),
+raised *before* any enclave work is done on the request.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import LoadShed
+
+
+class TokenBucket:
+    """Per-tenant rate limiting: ``rate_per_s`` sustained, ``burst`` peak.
+
+    Refill is computed lazily from elapsed virtual nanoseconds, so the
+    bucket needs no timer and is exact under replay.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float,
+                 now_ns: float = 0.0) -> None:
+        if rate_per_s <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._tokens = burst
+        self._last_ns = now_ns
+
+    def _refill(self, now_ns: float) -> None:
+        if now_ns > self._last_ns:
+            self._tokens = min(
+                self.burst,
+                self._tokens
+                + (now_ns - self._last_ns) * 1e-9 * self.rate_per_s)
+            self._last_ns = now_ns
+
+    def try_take(self, now_ns: float) -> bool:
+        self._refill(now_ns)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def take(self, now_ns: float, tenant: str = "?") -> None:
+        if not self.try_take(now_ns):
+            raise LoadShed(
+                f"tenant {tenant}: token bucket empty "
+                f"({self.rate_per_s}/s, burst {self.burst})",
+                reason="rate")
+
+
+class AdmissionQueue:
+    """A bounded FIFO of admitted-but-not-dispatched requests.
+
+    ``offer`` raises a typed :class:`LoadShed` (``reason="queue"``) when
+    ``depth`` requests are already waiting — backpressure instead of an
+    unbounded backlog whose tail latency would blow every deadline
+    anyway.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = depth
+        self._items: deque = deque()
+        #: Monotone counters for the conservation property
+        #: (offered == admitted + shed at all times).
+        self.offered = 0
+        self.shed = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, item) -> None:
+        self.offered += 1
+        if len(self._items) >= self.depth:
+            self.shed += 1
+            raise LoadShed(
+                f"admission queue full ({self.depth} waiting)",
+                reason="queue")
+        self._items.append(item)
+
+    def head(self):
+        return self._items[0]
+
+    def pop(self):
+        return self._items.popleft()

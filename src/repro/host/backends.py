@@ -1,0 +1,211 @@
+"""The enclave apps behind the serving layer's front door.
+
+Each backend adapts one of the ported case-study apps
+(:mod:`repro.apps.ports`) to the service's uniform
+``handle(op) -> bytes`` contract:
+
+* ``echo`` — a nested outer/inner echo pair in the §VI-A layout (the
+  library front in the outer enclave, the application in the inner
+  enclave).  The host wire crypto is terminated by the session's
+  ReliableLink, so the backend serves the app work through a direct
+  nested ecall, charging the port's per-request network and per-byte
+  processing costs — this is the bulk (zipfian-head) backend that must
+  stay cheap at 100k sessions.
+* ``minidb`` — the real :class:`~repro.apps.ports.dbservice.NestedDbService`
+  (one inner enclave per tenant, sealed SQL end-to-end).
+* ``minisvm`` — the real :class:`~repro.apps.ports.mlservice.NestedMlService`
+  (sealed matrices, inner-enclave training/prediction).
+
+Transient failures raise typed
+:class:`~repro.errors.BackendUnavailable` (what the circuit breaker
+counts); :class:`~repro.errors.IntegrityViolation` is never caught here
+— integrity is fail-stop by design.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import BackendUnavailable, HostError
+from repro.perf.costmodel import NET_ROUND_TRIP_ECHO_NS
+from repro.sdk import EnclaveBuilder, EnclaveHost, parse_edl
+from repro.sdk.builder import developer_key
+from repro.sgx.constants import PAGE_SIZE
+
+_ECHO_FRONT_EDL = """
+enclave {
+    trusted {
+        public bytes serve(bytes payload);
+    };
+};
+"""
+
+_ECHO_APP_EDL = """
+enclave {
+    nested_trusted {
+        public bytes do_echo(bytes payload);
+    };
+};
+"""
+
+#: Outer EID -> inner handle, same pattern as the echo port's registry.
+_ECHO_APPS: "dict[int, object]" = {}
+
+
+def _echo_serve(ctx, payload: bytes) -> bytes:
+    inner = _ECHO_APPS[ctx.handle.eid]
+    return ctx.n_ecall(inner, "do_echo", payload)
+
+
+def _echo_do_echo(ctx, payload: bytes) -> bytes:
+    # Stage the request in the inner enclave's heap: the application
+    # works on EPC-resident data, so DRAM tampering under it is MEE-
+    # detected (what the chaos bitflip leg drives against).
+    data = bytes(payload)
+    addr = ctx.malloc(len(data))
+    ctx.write(addr, data)
+    # Same per-byte application charge as the echo port's app work.
+    ctx.host.machine.cost.charge_work(len(data) / 64)
+    out = ctx.read(addr, len(data))
+    ctx.free(addr)
+    return out
+
+
+class EchoBackend:
+    """Nested echo: outer library front, inner application enclave."""
+
+    name = "echo"
+
+    def __init__(self, host: EnclaveHost,
+                 heap_bytes: int = 8 * PAGE_SIZE) -> None:
+        self.host = host
+        key = developer_key("host-echo")
+        front_builder = EnclaveBuilder(
+            "host-echo-front",
+            parse_edl(_ECHO_FRONT_EDL, name="host-echo-front"),
+            signing_key=key, heap_bytes=heap_bytes)
+        front_builder.add_entry("serve", _echo_serve)
+        front_probe = front_builder.build()
+
+        app_builder = EnclaveBuilder(
+            "host-echo-app",
+            parse_edl(_ECHO_APP_EDL, name="host-echo-app"),
+            signing_key=key, heap_bytes=heap_bytes)
+        app_builder.add_entry("do_echo", _echo_do_echo)
+        app_builder.expect_peer(front_probe.sigstruct.expected_mrenclave,
+                                front_probe.sigstruct.mrsigner)
+        app_image = app_builder.build()
+
+        front_builder.expect_peer(app_image.sigstruct.expected_mrenclave,
+                                  app_image.sigstruct.mrsigner)
+        self.front = host.load(front_builder.build())
+        self.app = host.load(app_image)
+        host.associate(self.app, self.front)
+        _ECHO_APPS[self.front.eid] = self.app
+
+    def handle(self, op: bytes) -> bytes:
+        self.host.machine.cost.charge("net", NET_ROUND_TRIP_ECHO_NS)
+        return self.front.ecall("serve", op)
+
+    def close(self) -> None:
+        _ECHO_APPS.pop(self.front.eid, None)
+
+
+class DbBackend:
+    """minidb through the real nested DB service: sealed SQL in, rows
+    out.  Ops are UTF-8 SQL statements."""
+
+    name = "minidb"
+
+    def __init__(self, host: EnclaveHost, tenant_key: bytes) -> None:
+        from repro.apps.ports.dbservice import NestedDbService
+        self.service = NestedDbService(host)
+        self.session = self.service.add_tenant(tenant_key)
+        self.session.execute(
+            "CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT)")
+
+    def handle(self, op: bytes) -> bytes:
+        result = self.session.execute(op.decode("utf-8"))
+        return repr(result).encode("utf-8")
+
+    def close(self) -> None:
+        pass
+
+
+class SvmBackend:
+    """minisvm through the real nested ML service: one model trained at
+    provisioning time, sealed predict per request.  Ops are a row count
+    encoded as 2 little-endian bytes."""
+
+    name = "minisvm"
+
+    def __init__(self, host: EnclaveHost, client_key: bytes) -> None:
+        import numpy as np
+        from repro.apps.ports.mlservice import NestedMlService
+        self._np = np
+        self.service = NestedMlService(host)
+        self.session = self.service.add_client(client_key)
+        # A small deterministic two-class training set.
+        base = np.arange(40, dtype=float).reshape(10, 4)
+        x = np.vstack([base, base + 40.0])
+        y = np.array([1] * 10 + [2] * 10)
+        self.model_id = self.session.train(x, y)
+
+    def handle(self, op: bytes) -> bytes:
+        rows = int.from_bytes(op[:2], "little") or 1
+        x = self._np.arange(rows * 4,
+                            dtype=float).reshape(rows, 4)
+        labels = self.session.predict(self.model_id, x)
+        return bytes(int(v) & 0xFF for v in labels)
+
+    def close(self) -> None:
+        pass
+
+
+class FlakyBackend:
+    """A deterministic chaos-monkey wrapper: fails the requests whose
+    ordinals fall in seeded outage windows with a typed
+    :class:`BackendUnavailable` — the stimulus the circuit-breaker
+    experiments and property tests drive against.  Seeded, so a replay
+    produces the identical failure pattern."""
+
+    def __init__(self, inner, outages: int = 2,
+                 outage_len: int = 8, period: int = 60,
+                 seed: int = 0) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.calls = 0
+        self.failures = 0
+        rng = random.Random(seed)
+        self._down: "set[int]" = set()
+        for window in range(outages):
+            start = window * period + rng.randrange(1, period - outage_len)
+            self._down.update(range(start, start + outage_len))
+
+    def handle(self, op: bytes) -> bytes:
+        self.calls += 1
+        if self.calls in self._down:
+            self.failures += 1
+            raise BackendUnavailable(
+                f"backend {self.name!r}: transient outage "
+                f"(request {self.calls})")
+        return self.inner.handle(op)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def make_backends(host: EnclaveHost, names=("echo",),
+                  tenant_key: bytes = b"\x07" * 16) -> dict:
+    """Provision the named backends on one enclave host."""
+    backends: "dict[str, object]" = {}
+    for name in names:
+        if name == "echo":
+            backends[name] = EchoBackend(host)
+        elif name == "minidb":
+            backends[name] = DbBackend(host, tenant_key)
+        elif name == "minisvm":
+            backends[name] = SvmBackend(host, tenant_key)
+        else:
+            raise HostError(f"unknown backend {name!r}")
+    return backends

@@ -1,0 +1,98 @@
+"""Per-backend circuit breaker: closed → open → half-open, on the
+simulated clock.
+
+The breaker counts *consecutive* backend failures; at
+``failure_threshold`` it opens and sheds every request (typed
+:class:`~repro.errors.LoadShed`, ``reason="breaker"``) for
+``cooldown_ns`` of virtual time.  After the cooldown it admits at most
+``half_open_probes`` probe requests: one probe success closes the
+breaker, one probe failure re-opens it for another full cooldown.
+
+All decisions are pure functions of (state, virtual now) — no host
+clock, no randomness — so the breaker's trajectory is identical under
+chaos replay.  Note what the breaker deliberately does **not** absorb:
+:class:`~repro.errors.IntegrityViolation` is fail-stop and must
+propagate to the top of the experiment; a breaker that converted a
+detected integrity failure into a shed-and-continue would turn a loud
+failure into a silent one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoadShed
+from repro.perf.costmodel import HOST_BREAKER_COOLDOWN_NS
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    def __init__(self, name: str, failure_threshold: int = 5,
+                 cooldown_ns: float = HOST_BREAKER_COOLDOWN_NS,
+                 half_open_probes: int = 2) -> None:
+        if failure_threshold < 1 or half_open_probes < 1:
+            raise ValueError("thresholds must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_ns = cooldown_ns
+        self.half_open_probes = half_open_probes
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at_ns = 0.0
+        self._probes_in_flight = 0
+        #: Telemetry for experiments/tests.
+        self.opens = 0
+        self.probes = 0
+        self.shed = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def _maybe_half_open(self, now_ns: float) -> None:
+        if self._state == OPEN \
+                and now_ns >= self._opened_at_ns + self.cooldown_ns:
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+
+    def allow(self, now_ns: float) -> bool:
+        """May a request be dispatched to this backend at ``now_ns``?"""
+        self._maybe_half_open(now_ns)
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN \
+                and self._probes_in_flight < self.half_open_probes:
+            self._probes_in_flight += 1
+            self.probes += 1
+            return True
+        self.shed += 1
+        return False
+
+    def check(self, now_ns: float) -> None:
+        if not self.allow(now_ns):
+            raise LoadShed(
+                f"backend {self.name!r}: circuit breaker {self._state}",
+                reason="breaker")
+
+    def record_success(self, now_ns: float) -> None:
+        self._failures = 0
+        if self._state == HALF_OPEN:
+            self._state = CLOSED
+            self._probes_in_flight = 0
+
+    def record_failure(self, now_ns: float) -> None:
+        if self._state == HALF_OPEN:
+            self._trip(now_ns)
+            return
+        self._failures += 1
+        if self._state == CLOSED \
+                and self._failures >= self.failure_threshold:
+            self._trip(now_ns)
+
+    def _trip(self, now_ns: float) -> None:
+        self._state = OPEN
+        self._opened_at_ns = now_ns
+        self._failures = 0
+        self._probes_in_flight = 0
+        self.opens += 1

@@ -1,0 +1,128 @@
+"""Runner-registry experiments for the serving layer.
+
+Three harnesses, each deterministic at either scale (quick ≈ 1k
+sessions for the CI chaos leg, full = 100k sessions for the nightly
+soak):
+
+* ``host-serving`` — the SLO measurement: zipfian tenant mix over the
+  echo/minidb/minisvm backends at moderate utilization; headline
+  metrics are throughput and p50/p99 simulated latency.
+* ``host-overload`` — open-loop arrivals far above capacity with tight
+  deadlines: admission control and deadline propagation must convert
+  the excess into typed LoadShed/DeadlineExceeded, conserving every
+  offered session.
+* ``host-failover`` — a flaky backend drives the circuit breaker
+  through open/half-open/closed; the breaker must shed while open,
+  probe a bounded number of times, and recover.
+
+Each run audits the conservation property (sessions are never silently
+lost) before reporting, so a chaos replay that corrupted accounting
+fails loudly instead of drifting a fingerprint.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HostError
+from repro.experiments.common import nested_host
+from repro.experiments.report import ExperimentResult
+from repro.host.backends import EchoBackend, FlakyBackend, make_backends
+from repro.host.loadgen import LoadProfile, generate_arrivals
+from repro.host.service import HostConfig, HostService
+
+
+def _finish(result: ExperimentResult, service: HostService,
+            stats) -> ExperimentResult:
+    if stats.accounted() != stats.offered:
+        raise HostError("session accounting does not conserve load")
+    for backend in sorted(service.backends):
+        latencies = sorted(stats.backend_latencies_ns.get(backend, []))
+
+        def pct(quantile):
+            if not latencies:
+                return 0.0
+            return latencies[min(len(latencies) - 1,
+                                 int(quantile * len(latencies)))]
+
+        result.add(backend, stats.backend_served.get(backend, 0),
+                   round(pct(0.50) / 1000.0, 3),
+                   round(pct(0.99) / 1000.0, 3))
+    result.metric("offered", stats.offered)
+    result.metric("served", stats.served)
+    result.metric("shed", stats.shed_total)
+    result.metric("deadline_exceeded", stats.deadline_exceeded)
+    result.metric("throughput_rps", round(stats.throughput_rps(), 1))
+    result.metric("p50_us", round(stats.percentile_ns(0.50) / 1000.0, 3))
+    result.metric("p99_us", round(stats.percentile_ns(0.99) / 1000.0, 3))
+    result.metric("resurrections", stats.resurrections)
+    result.metric("enrollments", service.gateway.enrollments)
+    result.metric("sim_ms",
+                  round(service.machine.clock.now_ns / 1e6, 3))
+    service.close()
+    return result
+
+
+def run_host_serving(sessions: int = 1000,
+                     tenants: int = 16) -> ExperimentResult:
+    """Attested multi-tenant serving at moderate utilization."""
+    host = nested_host()
+    backends = make_backends(host, ("echo", "minidb", "minisvm"))
+    service = HostService(host, backends, HostConfig(
+        workers=4, queue_depth=128, rate_per_s=100_000.0, burst=64.0))
+    profile = LoadProfile(
+        sessions=sessions, tenants=tenants, rate_per_s=8_000.0,
+        db_tenants=1, svm_tenants=1, seed=11)
+    stats = service.run(generate_arrivals(profile))
+    result = ExperimentResult(
+        "HostServing",
+        f"multi-tenant serving: {sessions} attested sessions, "
+        f"{tenants} tenants, zipfian mix",
+        ("backend", "served", "p50 (us)", "p99 (us)"))
+    return _finish(result, service, stats)
+
+
+def run_host_overload(sessions: int = 1000,
+                      tenants: int = 8) -> ExperimentResult:
+    """Open-loop overload: typed shedding, not collapse."""
+    host = nested_host()
+    backends = make_backends(host, ("echo",))
+    service = HostService(host, backends, HostConfig(
+        workers=2, queue_depth=16, rate_per_s=3_000.0, burst=8.0))
+    profile = LoadProfile(
+        sessions=sessions, tenants=tenants, rate_per_s=40_000.0,
+        deadline_ns=2_000_000.0, seed=23)
+    stats = service.run(generate_arrivals(profile))
+    result = ExperimentResult(
+        "HostOverload",
+        f"admission control under overload: {sessions} sessions at "
+        f"~10x capacity, 2 ms deadlines",
+        ("backend", "served", "p50 (us)", "p99 (us)"))
+    result.metric("shed_queue", stats.shed_queue)
+    result.metric("shed_rate", stats.shed_rate)
+    return _finish(result, service, stats)
+
+
+def run_host_failover(sessions: int = 1000,
+                      tenants: int = 8) -> ExperimentResult:
+    """A flaky backend must trip the breaker, shed while open, and
+    recover through bounded half-open probes."""
+    host = nested_host()
+    echo = EchoBackend(host)
+    flaky = FlakyBackend(echo, outages=3, outage_len=10, period=120,
+                         seed=7)
+    service = HostService(host, {"echo": flaky}, HostConfig(
+        workers=2, queue_depth=64, rate_per_s=50_000.0, burst=32.0,
+        breaker_failures=3, breaker_cooldown_ns=10_000_000.0,
+        half_open_probes=2))
+    profile = LoadProfile(
+        sessions=sessions, tenants=tenants, rate_per_s=6_000.0, seed=31)
+    stats = service.run(generate_arrivals(profile))
+    result = ExperimentResult(
+        "HostFailover",
+        f"circuit breaker under seeded outages: {sessions} sessions, "
+        f"flaky echo backend",
+        ("backend", "served", "p50 (us)", "p99 (us)"))
+    result.metric("backend_outage_failures", flaky.failures)
+    result.metric("breaker_opens", stats.breaker_opens)
+    result.metric("breaker_probes", stats.breaker_probes)
+    result.metric("shed_breaker", stats.shed_breaker)
+    return _finish(result, service, stats)

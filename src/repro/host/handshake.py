@@ -1,0 +1,171 @@
+"""Attestation-gated session establishment for the serving layer.
+
+First contact per tenant is the full EREPORT-verified handshake of
+:mod:`repro.sdk.attest` between the tenant's client enclave and the
+host's **gateway enclave** — mutual policy checks, typed rejections,
+replay-guarded nonces.  The handshake yields the tenant's channel key
+(pinning the tenant's ReliableLink session) and a **resumption ticket**
+MAC'd under a key that never leaves the gateway enclave (EGETKEY-
+derived).  Each subsequent *session* presents the ticket plus a fresh
+session nonce through one cheap gateway ecall — the design that makes
+100k attestation-gated sessions tractable while keeping every session
+cryptographically chained to the original EREPORT handshake.
+
+Failure taxonomy: a forged ticket is a typed
+:class:`~repro.errors.TicketInvalid`; a replayed session nonce is a
+typed :class:`~repro.errors.HandshakeReplay`; measurement/policy
+failures surface from ``mutual_attest`` as
+:class:`~repro.errors.ReportForgery` / MeasurementMismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.errors import TicketInvalid
+from repro.sdk import EnclaveBuilder, EnclaveHost, parse_edl
+from repro.sdk.attest import (AttestationPolicy, ReplayGuard,
+                              mutual_attest)
+from repro.sdk.builder import developer_key
+from repro.sgx.constants import PAGE_SIZE
+
+GATEWAY_EDL = """
+enclave {
+    trusted {
+        public bytes issue_ticket(bytes tenant_id);
+        public int check_ticket(bytes tenant_id, bytes mac);
+    };
+};
+"""
+
+CLIENT_EDL = """
+enclave {
+    trusted {
+        public int client_ready(void);
+    };
+};
+"""
+
+TICKET_MAC_LEN = 16
+
+
+def _ticket_key(ctx) -> bytes:
+    """The gateway's ticket-MAC key: derived from EGETKEY inside the
+    enclave, never exported."""
+    return hashlib.sha256(b"host-ticket" + ctx.get_key("seal")).digest()
+
+
+def _ticket_mac(key: bytes, tenant_id: bytes) -> bytes:
+    return hmac.new(key, b"ticket" + tenant_id,
+                    hashlib.sha256).digest()[:TICKET_MAC_LEN]
+
+
+def _stage(ctx, data: bytes) -> bytes:
+    """Copy untrusted input into the enclave heap and read it back:
+    the gateway computes over EPC-resident bytes, so tampering with
+    them in DRAM is MEE-detected rather than silently accepted."""
+    addr = ctx.malloc(len(data))
+    ctx.write(addr, data)
+    staged = ctx.read(addr, len(data))
+    ctx.free(addr)
+    return staged
+
+
+def _issue_ticket(ctx, tenant_id: bytes) -> bytes:
+    return _ticket_mac(_ticket_key(ctx), _stage(ctx, bytes(tenant_id)))
+
+
+def _check_ticket(ctx, tenant_id: bytes, mac: bytes) -> int:
+    good = _ticket_mac(_ticket_key(ctx), _stage(ctx, bytes(tenant_id)))
+    return 1 if hmac.compare_digest(good, bytes(mac)) else 0
+
+
+def _client_ready(ctx) -> int:
+    return 1
+
+
+@dataclass(frozen=True)
+class SessionTicket:
+    tenant_id: bytes
+    mac: bytes
+
+
+@dataclass(frozen=True)
+class TenantCredential:
+    """What tenant enrollment produces: the attested channel key and
+    the resumption ticket."""
+
+    tenant_id: bytes
+    channel_key: bytes
+    ticket: SessionTicket
+
+
+class HostGateway:
+    """The host's front door: one gateway enclave, one client-side
+    enclave standing in for the tenants' attested client TCB."""
+
+    def __init__(self, host: EnclaveHost) -> None:
+        self.host = host
+        gw_key = developer_key("host-gateway")
+        builder = EnclaveBuilder(
+            "host-gateway", parse_edl(GATEWAY_EDL, name="host-gateway"),
+            signing_key=gw_key, heap_bytes=4 * PAGE_SIZE)
+        builder.add_entry("issue_ticket", _issue_ticket)
+        builder.add_entry("check_ticket", _check_ticket)
+        self.enclave = host.load(builder.build())
+
+        client_key = developer_key("host-client")
+        builder = EnclaveBuilder(
+            "host-client", parse_edl(CLIENT_EDL, name="host-client"),
+            signing_key=client_key, heap_bytes=4 * PAGE_SIZE)
+        builder.add_entry("client_ready", _client_ready)
+        self.client_enclave = host.load(builder.build())
+
+        #: The gateway accepts any enclave from the client signer; the
+        #: client pins the gateway's exact measurement.
+        self.gateway_policy = AttestationPolicy(
+            mrsigner=self.client_enclave.secs.mrsigner)
+        self.client_policy = AttestationPolicy(
+            mrenclave=self.enclave.secs.mrenclave)
+        self.replay_guard = ReplayGuard()
+        self._tenants: "dict[bytes, TenantCredential]" = {}
+        #: Telemetry.
+        self.enrollments = 0
+        self.resumptions = 0
+
+    # -- first contact: the full EREPORT handshake -------------------------
+    def enroll(self, tenant_id: bytes) -> TenantCredential:
+        tenant_id = bytes(tenant_id)
+        nonce = hashlib.sha256(b"enroll" + tenant_id).digest()
+        key_client, key_gateway = mutual_attest(
+            self.client_enclave, self.enclave,
+            self.client_policy, self.gateway_policy,
+            nonce=nonce, replay_guard=self.replay_guard)
+        assert key_client == key_gateway
+        mac = self.enclave.ecall("issue_ticket", tenant_id)
+        channel_key = hashlib.sha256(
+            b"tenant-channel" + key_gateway + tenant_id).digest()
+        credential = TenantCredential(
+            tenant_id, channel_key, SessionTicket(tenant_id, mac))
+        self._tenants[tenant_id] = credential
+        self.enrollments += 1
+        return credential
+
+    # -- every session: cheap attested resumption --------------------------
+    def resume(self, ticket: SessionTicket, session_nonce: bytes) -> bytes:
+        """Verify the ticket inside the gateway enclave and derive the
+        per-session key.  One ecall per session."""
+        credential = self._tenants.get(bytes(ticket.tenant_id))
+        if credential is None:
+            raise TicketInvalid(
+                f"unknown tenant {bytes(ticket.tenant_id)[:8]!r}")
+        if not self.enclave.ecall("check_ticket", ticket.tenant_id,
+                                  ticket.mac):
+            raise TicketInvalid("ticket MAC failed verification")
+        self.replay_guard.consume(
+            b"resume" + bytes(ticket.tenant_id) + bytes(session_nonce))
+        self.resumptions += 1
+        return hashlib.sha256(b"session-key" + credential.channel_key
+                              + bytes(session_nonce)).digest()

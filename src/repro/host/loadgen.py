@@ -1,0 +1,104 @@
+"""Seeded load generation for the serving layer (Stress-SGX's role).
+
+``generate_arrivals`` turns a :class:`LoadProfile` into a time-sorted
+list of :class:`Arrival` records on the *virtual* arrival timeline:
+
+* **open loop** — exponential inter-arrival times at ``rate_per_s``
+  (arrivals do not wait for completions, so overload is expressible);
+* **closed loop** — ``concurrency`` clients issuing in rounds at the
+  same average rate (arrival pressure bounded by the client pool).
+
+Tenant selection is zipfian (rank-1 heaviest), the canonical skew for
+multi-tenant serving; backend assignment puts the heavy head ranks on
+the cheap echo app and the tail ranks on minidb/minisvm, mirroring a
+fleet where a few tenants run the expensive services.  Everything is
+drawn from one ``random.Random(seed)`` stream — the same profile always
+yields the byte-identical workload, which is what lets the chaos
+protocol demand byte-identical canonical results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One session: arrives, authenticates (ticket resumption), issues
+    one request against ``backend``."""
+
+    at_ns: float
+    tenant: int
+    backend: str
+    op: bytes
+    deadline_ns: float | None = None
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    sessions: int = 1000
+    tenants: int = 16
+    rate_per_s: float = 20_000.0      # virtual arrival rate
+    zipf_s: float = 1.1
+    seed: int = 0
+    closed_loop: bool = False
+    concurrency: int = 32             # closed-loop client pool
+    deadline_ns: float | None = None  # relative; None = no deadline
+    db_tenants: int = 0               # tail ranks served by minidb
+    svm_tenants: int = 0              # tail ranks served by minisvm
+
+    def backend_of(self, tenant: int) -> str:
+        if tenant >= self.tenants - self.db_tenants:
+            return "minidb"
+        if tenant >= self.tenants - self.db_tenants - self.svm_tenants:
+            return "minisvm"
+        return "echo"
+
+
+_ECHO_SIZES = (32, 64, 128, 256)
+
+
+def generate_arrivals(profile: LoadProfile) -> "list[Arrival]":
+    rng = random.Random(profile.seed)
+    weights = [1.0 / (rank + 1) ** profile.zipf_s
+               for rank in range(profile.tenants)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    arrivals: "list[Arrival]" = []
+    now = 0.0
+    interval = 1e9 / profile.rate_per_s
+    db_serial = 0
+    for index in range(profile.sessions):
+        if profile.closed_loop:
+            now = (index // profile.concurrency) * interval \
+                * profile.concurrency
+        else:
+            now += rng.expovariate(profile.rate_per_s) * 1e9
+        draw = rng.random()
+        tenant = next(rank for rank, edge in enumerate(cumulative)
+                      if draw <= edge)
+        backend = profile.backend_of(tenant)
+        if backend == "echo":
+            size = _ECHO_SIZES[rng.randrange(len(_ECHO_SIZES))]
+            op = bytes([index & 0xFF]) * size
+        elif backend == "minidb":
+            db_serial += 1
+            if db_serial % 2:
+                op = (f"INSERT INTO kv VALUES ({db_serial}, "
+                      f"'v{db_serial}')").encode()
+            else:
+                op = (f"SELECT v FROM kv WHERE k = "
+                      f"{db_serial - 1}").encode()
+        else:
+            rows = 1 + rng.randrange(4)
+            op = rows.to_bytes(2, "little")
+        deadline = (None if profile.deadline_ns is None
+                    else now + profile.deadline_ns)
+        arrivals.append(Arrival(now, tenant, backend, op, deadline))
+    return arrivals

@@ -1,0 +1,344 @@
+"""The multi-tenant host service: bounded worker pool on the simulated
+clock, typed failure taxonomy, deterministic under replay.
+
+Scheduling model
+----------------
+Requests execute *serially* on the one simulated machine (the simulator
+is single-threaded); concurrency is an overlay on the **virtual
+timeline**: the worker pool is a min-heap of per-worker free times, an
+admitted request dispatches at ``start = max(arrival, earliest free)``,
+its service time is the simulated-clock delta of actually running it,
+and its latency is ``start + service − arrival``.  Every quantity is a
+pure function of the seeded workload and the machine's deterministic
+cost model, so p50/p99/throughput are replayable bit for bit — the
+property the chaos protocol checks.
+
+Failure taxonomy (every failure typed, never a silent wrong answer):
+
+=====================  ====================================================
+``LoadShed(queue)``    bounded admission queue full
+``LoadShed(rate)``     tenant token bucket empty
+``LoadShed(breaker)``  backend circuit breaker open
+``DeadlineExceeded``   propagated deadline passed (client, link or server)
+``ChannelTimeout``     lossy transport exhausted the retry budget
+``BackendUnavailable`` transient backend failure (breaker input)
+``IntegrityViolation`` tampered memory — **fail-stop**, never absorbed
+=====================  ====================================================
+
+Sessions are attestation-gated end to end: tenants enroll once through
+the EREPORT handshake, every session resumes through a gateway-enclave
+ticket check, and each request binds its session key into the wire
+token.  A corrupted tenant channel is *resurrected* (fresh link
+generation under a rekeyed channel) and the request retried once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from dataclasses import dataclass, field
+
+from repro.crypto.hashaead import HashAead
+from repro.errors import (BackendUnavailable, ChannelError,
+                          ChannelTimeout, CryptoError, DeadlineExceeded,
+                          HostError, LoadShed)
+from repro.host.admission import AdmissionQueue, TokenBucket
+from repro.host.breaker import CircuitBreaker
+from repro.host.handshake import HostGateway
+from repro.host.loadgen import Arrival
+from repro.perf.costmodel import HOST_BREAKER_COOLDOWN_NS
+from repro.sdk.secure_channel import BackoffPolicy, reliable_pair
+
+_STATUS_OK = 0
+_STATUS_DEADLINE = 1
+_STATUS_UNAVAILABLE = 2
+_STATUS_UNKNOWN_BACKEND = 3
+_STATUS_BAD_TOKEN = 4
+
+_TOKEN_LEN = 8
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    workers: int = 4
+    queue_depth: int = 64
+    rate_per_s: float = 50_000.0      # per-tenant token rate
+    burst: float = 32.0
+    breaker_failures: int = 5
+    breaker_cooldown_ns: float = HOST_BREAKER_COOLDOWN_NS
+    half_open_probes: int = 2
+    seed: int = 0
+
+
+@dataclass
+class HostStats:
+    offered: int = 0
+    served: int = 0
+    shed_queue: int = 0
+    shed_rate: int = 0
+    shed_breaker: int = 0
+    deadline_exceeded: int = 0
+    backend_failures: int = 0
+    channel_timeouts: int = 0
+    auth_failures: int = 0
+    resurrections: int = 0
+    breaker_opens: int = 0
+    breaker_probes: int = 0
+    latencies_ns: "list[float]" = field(default_factory=list)
+    backend_served: "dict[str, int]" = field(default_factory=dict)
+    backend_latencies_ns: "dict[str, list]" = field(default_factory=dict)
+    finish_ns: float = field(default=0.0)
+
+    @property
+    def shed_total(self) -> int:
+        return self.shed_queue + self.shed_rate + self.shed_breaker
+
+    def accounted(self) -> int:
+        """Every offered session must end in exactly one typed bucket."""
+        return (self.served + self.shed_total + self.deadline_exceeded
+                + self.backend_failures + self.channel_timeouts
+                + self.auth_failures)
+
+    def percentile_ns(self, quantile: float) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        ordered = sorted(self.latencies_ns)
+        index = min(len(ordered) - 1, int(quantile * len(ordered)))
+        return ordered[index]
+
+    def throughput_rps(self) -> float:
+        if self.finish_ns <= 0:
+            return 0.0
+        return self.served / (self.finish_ns * 1e-9)
+
+
+class _Tenant:
+    def __init__(self, index: int, credential, bucket: TokenBucket):
+        self.index = index
+        self.credential = credential
+        self.bucket = bucket
+        self.generation = 0
+        self.sessions = 0
+        self.link = None
+        self.responder = None
+
+
+def _encode_request(backend: str, deadline_ns: float | None,
+                    token: bytes, op: bytes) -> bytes:
+    name = backend.encode()
+    deadline = 0 if deadline_ns is None else int(deadline_ns)
+    return (bytes([len(name)]) + name + deadline.to_bytes(8, "little")
+            + token + op)
+
+
+def _decode_request(payload: bytes):
+    name_len = payload[0]
+    name = payload[1:1 + name_len].decode()
+    rest = payload[1 + name_len:]
+    deadline = int.from_bytes(rest[:8], "little") or None
+    token = rest[8:8 + _TOKEN_LEN]
+    return name, deadline, token, rest[8 + _TOKEN_LEN:]
+
+
+def _session_token(session_key: bytes, op: bytes) -> bytes:
+    return hashlib.sha256(b"request-token" + session_key
+                          + op).digest()[:_TOKEN_LEN]
+
+
+class HostService:
+    """The serving layer over one enclave host."""
+
+    def __init__(self, host, backends: dict,
+                 config: HostConfig | None = None) -> None:
+        self.host = host
+        self.machine = host.machine
+        self.kernel = host.kernel
+        self.backends = backends
+        self.config = config or HostConfig()
+        self.gateway = HostGateway(host)
+        self.stats = HostStats()
+        self.breakers = {
+            name: CircuitBreaker(
+                name, self.config.breaker_failures,
+                self.config.breaker_cooldown_ns,
+                self.config.half_open_probes)
+            for name in backends}
+        self.queue = AdmissionQueue(self.config.queue_depth)
+        self._tenants: "dict[int, _Tenant]" = {}
+        self._workers = [0.0] * self.config.workers
+        heapq.heapify(self._workers)
+        self._session_key = b""   # set around each dispatch
+
+    # -- tenant/session plumbing -------------------------------------------
+    def _tenant(self, index: int) -> _Tenant:
+        tenant = self._tenants.get(index)
+        if tenant is None:
+            tenant_id = b"tenant-%04d" % index
+            credential = self.gateway.enroll(tenant_id)
+            bucket = TokenBucket(self.config.rate_per_s,
+                                 self.config.burst)
+            tenant = _Tenant(index, credential, bucket)
+            self._tenants[index] = tenant
+            self._pin_link(tenant)
+        return tenant
+
+    def _pin_link(self, tenant: _Tenant) -> None:
+        """Pin (or re-pin) the tenant's reliable session link.  Each
+        generation runs under a rekeyed channel so send counters can
+        restart without nonce reuse."""
+        generation_key = hashlib.sha256(
+            tenant.credential.channel_key
+            + tenant.generation.to_bytes(4, "little")).digest()
+        name = f"tenant{tenant.index}g{tenant.generation}"
+        tenant.link, tenant.responder = reliable_pair(
+            self.machine, self.kernel.ipc, name, generation_key,
+            self._handle_wire, cipher=HashAead,
+            backoff=BackoffPolicy(seed=self.config.seed))
+
+    def _resurrect(self, tenant: _Tenant) -> None:
+        tenant.generation += 1
+        self._pin_link(tenant)
+        self.stats.resurrections += 1
+
+    # -- server side --------------------------------------------------------
+    def _handle_wire(self, payload: bytes) -> bytes:
+        name, deadline, token, op = _decode_request(payload)
+        if deadline is not None \
+                and self.machine.clock.now_ns >= deadline:
+            # Deadline propagated into the server: refuse before the
+            # backend ecall rather than doing late work.
+            return bytes([_STATUS_DEADLINE])
+        if token != _session_token(self._session_key, op):
+            return bytes([_STATUS_BAD_TOKEN])
+        backend = self.backends.get(name)
+        if backend is None:
+            return bytes([_STATUS_UNKNOWN_BACKEND])
+        try:
+            body = backend.handle(op)
+        except BackendUnavailable:
+            return bytes([_STATUS_UNAVAILABLE])
+        # IntegrityViolation deliberately not caught: fail-stop.
+        return bytes([_STATUS_OK]) + body
+
+    # -- the virtual-time pool ----------------------------------------------
+    def run(self, arrivals: "list[Arrival]") -> HostStats:
+        """Serve a time-sorted arrival schedule to completion."""
+        for arrival in arrivals:
+            self._drain(arrival.at_ns)
+            self.stats.offered += 1
+            tenant = self._tenant(arrival.tenant)
+            if not tenant.bucket.try_take(arrival.at_ns):
+                self.stats.shed_rate += 1
+                continue
+            try:
+                self.queue.offer(arrival)
+            except LoadShed:
+                self.stats.shed_queue += 1
+        self._drain(None)
+        if self.stats.accounted() != self.stats.offered:
+            raise HostError(
+                f"conservation violated: offered {self.stats.offered} "
+                f"!= accounted {self.stats.accounted()}")
+        return self.stats
+
+    def _drain(self, now_ns: float | None) -> None:
+        while len(self.queue):
+            free_at = self._workers[0]
+            if now_ns is not None and free_at > now_ns:
+                return
+            arrival = self.queue.pop()
+            completion = self._dispatch(arrival,
+                                        max(free_at, arrival.at_ns))
+            heapq.heapreplace(self._workers, completion)
+            self.stats.finish_ns = max(self.stats.finish_ns, completion)
+
+    def _dispatch(self, arrival: Arrival, start_ns: float) -> float:
+        stats = self.stats
+        if arrival.deadline_ns is not None \
+                and start_ns >= arrival.deadline_ns:
+            # Queued past its deadline: typed, no work done.
+            stats.deadline_exceeded += 1
+            return start_ns
+        # Unknown backends have no breaker; the wire handler answers
+        # them with a typed UNKNOWN_BACKEND status.
+        breaker = self.breakers.get(arrival.backend)
+        if breaker is not None and not breaker.allow(start_ns):
+            stats.shed_breaker += 1
+            return start_ns
+
+        tenant = self._tenant(arrival.tenant)
+        machine_t0 = self.machine.clock.now_ns
+        tenant.sessions += 1
+        session_nonce = (tenant.sessions.to_bytes(8, "little")
+                         + tenant.index.to_bytes(4, "little"))
+        session_key = self.gateway.resume(tenant.credential.ticket,
+                                          session_nonce)
+
+        machine_deadline = None
+        if arrival.deadline_ns is not None:
+            machine_deadline = machine_t0 \
+                + (arrival.deadline_ns - start_ns)
+        status, _body = self._exchange(tenant, arrival, session_key,
+                                       machine_deadline)
+        completion = start_ns + (self.machine.clock.now_ns - machine_t0)
+
+        if status == _STATUS_OK:
+            stats.served += 1
+            latency = completion - arrival.at_ns
+            stats.latencies_ns.append(latency)
+            stats.backend_served[arrival.backend] = \
+                stats.backend_served.get(arrival.backend, 0) + 1
+            stats.backend_latencies_ns.setdefault(
+                arrival.backend, []).append(latency)
+            if breaker is not None:
+                breaker.record_success(completion)
+        elif status == _STATUS_DEADLINE:
+            stats.deadline_exceeded += 1
+        elif status == _STATUS_UNAVAILABLE:
+            stats.backend_failures += 1
+            if breaker is not None:
+                breaker.record_failure(completion)
+        elif status == _STATUS_BAD_TOKEN:
+            stats.auth_failures += 1
+        elif status == _STATUS_UNKNOWN_BACKEND:
+            stats.backend_failures += 1
+        elif status == -1:   # channel timeout
+            stats.channel_timeouts += 1
+            if breaker is not None:
+                breaker.record_failure(completion)
+        stats.breaker_opens = sum(b.opens for b in self.breakers.values())
+        stats.breaker_probes = sum(b.probes
+                                   for b in self.breakers.values())
+        return completion
+
+    def _exchange(self, tenant: _Tenant, arrival: Arrival,
+                  session_key: bytes,
+                  machine_deadline: float | None):
+        """One request over the tenant's pinned link, with one
+        resurrection retry on channel corruption."""
+        payload = _encode_request(
+            arrival.backend, machine_deadline,
+            _session_token(session_key, arrival.op), arrival.op)
+        self._session_key = session_key
+        for attempt in range(2):
+            try:
+                reply = tenant.link.call(payload,
+                                         pump=tenant.responder.pump,
+                                         deadline_ns=machine_deadline)
+                return reply[0], reply[1:]
+            except DeadlineExceeded:
+                return _STATUS_DEADLINE, b""
+            except ChannelTimeout:
+                return -1, b""
+            except (ChannelError, CryptoError):
+                # Corrupted channel state: resurrect the session link
+                # and retry once.  IntegrityViolation/SgxFault pass
+                # through untouched (fail-stop).
+                if attempt == 1:
+                    raise
+                self._resurrect(tenant)
+        raise AssertionError("unreachable")
+
+    def close(self) -> None:
+        for backend in self.backends.values():
+            backend.close()

@@ -130,6 +130,12 @@ IPC_POLL_NS = 2_000.0
 #: above the per-message syscall cost so duplicate traffic stays rare.
 CHANNEL_RETRY_BACKOFF_NS = 50_000.0
 
+#: Default circuit-breaker cooldown in the serving layer
+#: (repro.host.breaker): virtual time an opened breaker sheds before
+#: admitting half-open probes — ~50 ms, three orders of magnitude above
+#: a request's service time so a transient outage drains before probing.
+HOST_BREAKER_COOLDOWN_NS = 50_000_000.0
+
 
 class SimClock:
     """A monotonically advancing simulated clock."""

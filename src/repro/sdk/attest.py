@@ -27,7 +27,8 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.core import nested_isa
-from repro.errors import MeasurementMismatch
+from repro.errors import (HandshakeReplay, MeasurementMismatch,
+                          ReportForgery)
 from repro.sdk.runtime import EnclaveHandle
 from repro.sgx import isa
 
@@ -47,22 +48,77 @@ class AttestationPolicy:
         return self.mrenclave is not None or self.mrsigner is not None
 
 
+class ReplayGuard:
+    """Bounded memory of handshake nonces already consumed.
+
+    A verifier that accepts the same handshake transcript twice hands an
+    attacker a replayed session; :meth:`consume` admits each nonce
+    exactly once and raises a typed :class:`HandshakeReplay` on reuse.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._seen: "dict[bytes, None]" = {}
+
+    def consume(self, nonce: bytes) -> None:
+        nonce = bytes(nonce)
+        if nonce in self._seen:
+            raise HandshakeReplay(
+                f"handshake nonce {nonce[:8].hex()}… already consumed")
+        self._seen[nonce] = None
+        if len(self._seen) > self.capacity:
+            self._seen.pop(next(iter(self._seen)))
+
+
 def _key_half(machine, core) -> bytes:
     """An enclave-bound public value (EGETKEY-seeded, deterministic)."""
     return hashlib.sha256(
         b"dh-half" + isa.egetkey(machine, core, "seal")).digest()
 
 
+def verify_peer_report(machine, core, report,
+                       policy: AttestationPolicy,
+                       expected_report_data: bytes | None = None,
+                       peer: str = "peer") -> None:
+    """Typed verification of a peer's EREPORT, run *inside* the
+    verifier enclave (the caller holds the EENTER).
+
+    Raises :class:`ReportForgery` when the MAC fails under this
+    enclave's report key or the report data does not bind the expected
+    protocol value, and :class:`MeasurementMismatch` when the report
+    verifies but the measurement fails ``policy``.
+    """
+    if not isa.verify_report(machine, core, report):
+        raise ReportForgery(
+            f"{peer}'s report MAC failed verification — forged or "
+            f"retargeted report")
+    if not policy.accepts(report.mrenclave, report.mrsigner):
+        raise MeasurementMismatch(
+            f"policy rejects {peer}'s measurement")
+    if expected_report_data is not None \
+            and report.report_data != expected_report_data:
+        raise ReportForgery(
+            f"{peer}'s report does not bind the expected handshake "
+            f"value")
+
+
 def mutual_attest(a: EnclaveHandle, b: EnclaveHandle,
                   policy_a: AttestationPolicy,
                   policy_b: AttestationPolicy,
-                  nonce: bytes = b"session-nonce") -> tuple[bytes, bytes]:
+                  nonce: bytes = b"session-nonce",
+                  replay_guard: ReplayGuard | None = None,
+                  ) -> tuple[bytes, bytes]:
     """Run the handshake between enclaves ``a`` and ``b``.
 
     Returns the two independently derived session keys (equal on
-    success).  Raises :class:`MeasurementMismatch` when either side's
-    policy rejects the peer or a report fails verification.
+    success).  Raises :class:`ReportForgery` when a report fails
+    cryptographic verification, :class:`MeasurementMismatch` when
+    either side's policy rejects the peer, and — when a
+    :class:`ReplayGuard` is supplied — :class:`HandshakeReplay` on a
+    reused handshake nonce.
     """
+    if replay_guard is not None:
+        replay_guard.consume(nonce)
     machine = a.host.machine
     core = a.host.core
 
@@ -75,31 +131,28 @@ def mutual_attest(a: EnclaveHandle, b: EnclaveHandle,
 
     # Step 3: A verifies B and reports back.
     isa.eenter(machine, core, a.secs, a.idle_tcs())
-    if not isa.verify_report(machine, core, report_b):
+    try:
+        verify_peer_report(
+            machine, core, report_b, policy_a,
+            hashlib.sha256(nonce + half_b).digest(), peer="B")
+        half_a = _key_half(machine, core)
+        report_a = isa.ereport(machine, core, b.secs.mrenclave,
+                               hashlib.sha256(nonce + half_a).digest())
+        key_a = hashlib.sha256(
+            b"session" + half_a + half_b + nonce).digest()
+    finally:
         isa.eexit(machine, core)
-        raise MeasurementMismatch("B's report failed verification on A")
-    if not policy_a.accepts(report_b.mrenclave, report_b.mrsigner):
-        isa.eexit(machine, core)
-        raise MeasurementMismatch("A's policy rejects B")
-    if report_b.report_data != hashlib.sha256(nonce + half_b).digest():
-        isa.eexit(machine, core)
-        raise MeasurementMismatch("B's key half not bound to the report")
-    half_a = _key_half(machine, core)
-    report_a = isa.ereport(machine, core, b.secs.mrenclave,
-                           hashlib.sha256(nonce + half_a).digest())
-    key_a = hashlib.sha256(b"session" + half_a + half_b + nonce).digest()
-    isa.eexit(machine, core)
 
     # Step 4: B verifies A symmetrically and derives the same key.
     isa.eenter(machine, core, b.secs, b.idle_tcs())
-    if not isa.verify_report(machine, core, report_a):
+    try:
+        verify_peer_report(
+            machine, core, report_a, policy_b,
+            hashlib.sha256(nonce + half_a).digest(), peer="A")
+        key_b = hashlib.sha256(
+            b"session" + half_a + half_b + nonce).digest()
+    finally:
         isa.eexit(machine, core)
-        raise MeasurementMismatch("A's report failed verification on B")
-    if not policy_b.accepts(report_a.mrenclave, report_a.mrsigner):
-        isa.eexit(machine, core)
-        raise MeasurementMismatch("B's policy rejects A")
-    key_b = hashlib.sha256(b"session" + half_a + half_b + nonce).digest()
-    isa.eexit(machine, core)
     return key_a, key_b
 
 

@@ -32,8 +32,13 @@ reflected or cross-spliced datagram fails authentication.
 
 from __future__ import annotations
 
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+
 from repro.crypto.gcm import AesGcm
-from repro.errors import ChannelError, ChannelTimeout, CryptoError
+from repro.errors import (ChannelError, ChannelTimeout, CryptoError,
+                          DeadlineExceeded)
 from repro.os.ipc import IpcRouter
 from repro.perf import counters as ctr
 from repro.perf.costmodel import CHANNEL_RETRY_BACKOFF_NS
@@ -46,19 +51,56 @@ from repro.sgx.machine import Machine
 REORDER_WINDOW = 64
 
 #: Request/response attempts a ReliableLink makes before raising
-#: ChannelTimeout; each retry charges CHANNEL_RETRY_BACKOFF_NS.
+#: ChannelTimeout; retries charge the BackoffPolicy schedule.
 RELIABLE_MAX_ATTEMPTS = 5
+
+#: Byte-identical datagrams an endpoint remembers for silent duplicate
+#: discard.  OS-manufactured duplicates repeat the 12-byte header
+#: (nonce) exactly; genuine resends always carry a fresh send counter,
+#: so a bounded window of seen headers separates the two without
+#: decrypting — and therefore without charging costs the sender never
+#: paid for.
+DUP_WINDOW = 128
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Seeded deterministic exponential backoff with jitter.
+
+    ``schedule(rid, attempts)`` is a pure function of the policy and the
+    request ID: attempt *k* waits ``base_ns * multiplier**k`` capped at
+    ``cap_ns``, then shaved by up to ``jitter`` (a fraction) drawn from
+    ``random.Random`` seeded with ``(seed, rid)`` — so concurrent
+    requests decorrelate (different rids), while any replay of the same
+    request charges the identical simulated waits (chaos fingerprints
+    stay byte-stable and the schedule is unit-testable).
+    """
+
+    base_ns: float = CHANNEL_RETRY_BACKOFF_NS
+    multiplier: float = 2.0
+    cap_ns: float = 8 * CHANNEL_RETRY_BACKOFF_NS
+    jitter: float = 0.5
+    seed: int = 0
+
+    def schedule(self, rid: int, attempts: int) -> "list[float]":
+        rng = random.Random((self.seed << 32) ^ rid)
+        waits = []
+        for attempt in range(attempts):
+            raw = min(self.base_ns * self.multiplier ** attempt,
+                      self.cap_ns)
+            waits.append(raw * (1.0 - self.jitter * rng.random()))
+        return waits
 
 
 class GcmChannel:
     """One direction of a sealed enclave-to-enclave channel."""
 
     def __init__(self, machine: Machine, router: IpcRouter, port: str,
-                 key: bytes) -> None:
+                 key: bytes, cipher=AesGcm) -> None:
         self.machine = machine
         self.router = router
         self.port = port
-        self._gcm = AesGcm(key)
+        self._gcm = cipher(key)
         self._send_seq = 0
         self._recv_seq = 0
         #: seq -> raw message received ahead of order, awaiting its turn.
@@ -96,7 +138,7 @@ class GcmChannel:
                 raw = self.router.try_recv(self.port)
                 if raw is None:
                     return None
-                if len(raw) < 8 + AesGcm.TAG_LEN:
+                if len(raw) < 8 + self._gcm.TAG_LEN:
                     raise CryptoError("runt sealed message")
                 seq = int.from_bytes(raw[:8], "little")
                 if seq < self._recv_seq or seq in self._stash:
@@ -151,11 +193,28 @@ class _ReliableEndpoint:
     """Shared sealing machinery for the two ends of a reliable link."""
 
     def __init__(self, machine: Machine, router: IpcRouter,
-                 key: bytes) -> None:
+                 key: bytes, cipher=AesGcm) -> None:
         self.machine = machine
         self.router = router
-        self._gcm = AesGcm(key)
+        self._gcm = cipher(key)
         self._send_counter = 0
+        #: Recently received headers (nonces), for silent dup discard.
+        self._seen_headers: OrderedDict[bytes, None] = OrderedDict()
+
+    def _is_duplicate(self, raw: bytes) -> bool:
+        """True for a byte-replayed datagram (an OS-manufactured dup of
+        one already processed).  Duplicates are discarded *without*
+        decrypting and without charging: the sender never paid to emit
+        them, so absorbing them must not perturb the simulated clock —
+        that is what keeps benign ``dup`` fault plans byte-transparent
+        in the chaos fingerprints."""
+        header = bytes(raw[:_HEADER_LEN])
+        if header in self._seen_headers:
+            return True
+        self._seen_headers[header] = None
+        if len(self._seen_headers) > DUP_WINDOW:
+            self._seen_headers.popitem(last=False)
+        return False
 
     def _seal(self, port: str, kind: int, rid: int,
               payload: bytes) -> None:
@@ -171,7 +230,7 @@ class _ReliableEndpoint:
 
     def _open(self, raw: bytes) -> tuple[int, int, bytes]:
         """-> (kind, rid, payload); raises CryptoError on forgery."""
-        if len(raw) < _HEADER_LEN + AesGcm.TAG_LEN:
+        if len(raw) < _HEADER_LEN + self._gcm.TAG_LEN:
             raise CryptoError("runt reliable datagram")
         header = raw[:_HEADER_LEN]
         payload = self._gcm.open(header, raw[_HEADER_LEN:], header)
@@ -185,28 +244,43 @@ class ReliableLink(_ReliableEndpoint):
     """Client half: at-least-once requests, exactly-once effects.
 
     Each :meth:`call` retries the sealed request up to
-    :data:`RELIABLE_MAX_ATTEMPTS` times, charging a simulated RTO
-    (:data:`~repro.perf.costmodel.CHANNEL_RETRY_BACKOFF_NS`) between
-    attempts, and raises a typed :class:`ChannelTimeout` when the budget
-    is spent.  Responses to earlier request IDs (stale re-answers) are
-    discarded by ID match.
+    :data:`RELIABLE_MAX_ATTEMPTS` times, charging the
+    :class:`BackoffPolicy` schedule (seeded exponential backoff with
+    jitter) between attempts, and raises a typed
+    :class:`ChannelTimeout` when the budget is spent.  Responses to
+    earlier request IDs (stale re-answers) are discarded by ID match;
+    byte-replayed responses are discarded by the dup window without
+    charging.
     """
 
     def __init__(self, machine: Machine, router: IpcRouter,
                  request_port: str, response_port: str,
-                 key: bytes) -> None:
-        super().__init__(machine, router, key)
+                 key: bytes, cipher=AesGcm,
+                 backoff: BackoffPolicy | None = None) -> None:
+        super().__init__(machine, router, key, cipher)
         self.request_port = request_port
         self.response_port = response_port
+        self.backoff = BackoffPolicy() if backoff is None else backoff
         self._next_rid = 1
 
-    def call(self, payload: bytes, pump=None) -> bytes:
+    def call(self, payload: bytes, pump=None,
+             deadline_ns: float | None = None) -> bytes:
         """One request/response exchange.  ``pump`` (usually the
         responder's :meth:`ReliableResponder.pump`) is invoked after
-        each send to give the synchronous peer a chance to answer."""
+        each send to give the synchronous peer a chance to answer.
+        ``deadline_ns`` is an absolute simulated-clock deadline: once
+        the clock passes it the call raises a typed
+        :class:`DeadlineExceeded` instead of spending further attempts
+        — a deadline can fire *between* attempts but never hangs."""
         rid = self._next_rid
         self._next_rid += 1
+        waits = self.backoff.schedule(rid, RELIABLE_MAX_ATTEMPTS - 1)
         for attempt in range(RELIABLE_MAX_ATTEMPTS):
+            if deadline_ns is not None \
+                    and self.machine.clock.now_ns >= deadline_ns:
+                raise DeadlineExceeded(
+                    f"request {rid} on {self.request_port!r}: deadline "
+                    f"passed before attempt {attempt + 1}")
             self._seal(self.request_port, _KIND_REQUEST, rid, payload)
             if pump is not None:
                 pump()
@@ -214,6 +288,8 @@ class ReliableLink(_ReliableEndpoint):
                 raw = self.router.try_recv(self.response_port)
                 if raw is None:
                     break
+                if self._is_duplicate(raw):
+                    continue
                 kind, got_rid, body = self._open(raw)
                 if kind == _KIND_RESPONSE and got_rid == rid:
                     return body
@@ -221,7 +297,7 @@ class ReliableLink(_ReliableEndpoint):
                 # a duplicate re-answer): ignore and keep draining.
             if attempt < RELIABLE_MAX_ATTEMPTS - 1:
                 self.machine.cost.charge("channel_backoff",
-                                         CHANNEL_RETRY_BACKOFF_NS)
+                                         waits[attempt])
         raise ChannelTimeout(
             f"request {rid} on {self.request_port!r}: no response after "
             f"{RELIABLE_MAX_ATTEMPTS} attempts (lossy transport)")
@@ -233,8 +309,8 @@ class ReliableResponder(_ReliableEndpoint):
 
     def __init__(self, machine: Machine, router: IpcRouter,
                  request_port: str, response_port: str, key: bytes,
-                 handler) -> None:
-        super().__init__(machine, router, key)
+                 handler, cipher=AesGcm) -> None:
+        super().__init__(machine, router, key, cipher)
         self.request_port = request_port
         self.response_port = response_port
         self.handler = handler
@@ -249,6 +325,12 @@ class ReliableResponder(_ReliableEndpoint):
             if raw is None:
                 return seen
             seen += 1
+            if self._is_duplicate(raw):
+                # A byte-replayed request the OS manufactured: the
+                # client never resent it (a genuine resend has a fresh
+                # counter), so it needs no re-answer and must not
+                # charge.
+                continue
             kind, rid, payload = self._open(raw)
             if kind != _KIND_REQUEST:
                 continue  # a reflected response: authentication already
@@ -269,13 +351,15 @@ class ReliableResponder(_ReliableEndpoint):
 
 
 def reliable_pair(machine: Machine, router: IpcRouter, name: str,
-                  key: bytes, handler) -> tuple[ReliableLink,
-                                                ReliableResponder]:
+                  key: bytes, handler, cipher=AesGcm,
+                  backoff: BackoffPolicy | None = None,
+                  ) -> tuple[ReliableLink, ReliableResponder]:
     """A client/server pair over two fresh ports, sharing one key."""
     req_port, resp_port = name + ":req", name + ":resp"
     router.create_port(req_port)
     router.create_port(resp_port)
-    link = ReliableLink(machine, router, req_port, resp_port, key)
+    link = ReliableLink(machine, router, req_port, resp_port, key,
+                        cipher, backoff)
     responder = ReliableResponder(machine, router, req_port, resp_port,
-                                  key, handler)
+                                  key, handler, cipher)
     return link, responder

@@ -31,12 +31,12 @@ class TestCallGraph:
         """Drift tripwire: adding/removing functions or changing the
         resolver shows up here first.  Update deliberately."""
         assert repo_result.stats == {
-            "modules": 136,
-            "functions": 976,
-            "call_edges": 891,
-            "weak_edges": 2408,
-            "secret_summaries": 426,
-            "always_charging": 131,
+            "modules": 145,
+            "functions": 1052,
+            "call_edges": 954,
+            "weak_edges": 2847,
+            "secret_summaries": 460,
+            "always_charging": 150,
         }
 
     def test_strong_edge_import_resolved(self, repo_result):
@@ -173,6 +173,7 @@ class TestMutationCorpus:
     def test_corpus_names_are_pinned(self):
         assert sorted(m.name for m in MUTATIONS) == [
             "clock-above-fingerprint-fold",
+            "clock-under-attested-handshake",
             "driver-helper-parks-tcs",
             "drop-memside-read-charge",
             "drop-plan-run-charge",

@@ -265,6 +265,31 @@ class TestSim006:
             """, name=name)
             assert _rules(result) == ["SIM006"], name
 
+    def test_host_serving_layer_covered(self, tmp_path):
+        """The serving layer's admit/shed/breaker decisions feed the
+        chaos fingerprints, so repro.host.* is held to the same
+        seed-replay contract as the fault paths."""
+        for name in ("repro/host/service.py", "repro/host/breaker.py",
+                     "repro/host/loadgen.py"):
+            result = _lint(tmp_path, """
+            import random
+            import time
+
+            def decide():
+                time.sleep(0.001)
+                return random.random() < 0.5
+            """, name=name)
+            assert _rules(result) == ["SIM003", "SIM006", "SIM006"], name
+
+    def test_host_seeded_generator_allowed(self, tmp_path):
+        result = _lint(tmp_path, """
+        import random
+
+        def workload(seed):
+            return random.Random(seed)
+        """, name="repro/host/loadgen.py")
+        assert result.findings == []
+
     def test_suppression_applies(self, tmp_path):
         result = _lint(tmp_path, """
         import time

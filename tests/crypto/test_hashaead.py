@@ -1,0 +1,73 @@
+"""HashAead: the host wire cipher — AesGcm-compatible interface,
+hash-based keystream + MAC so 100k-session experiments stay fast."""
+
+import pytest
+
+from repro.crypto.gcm import AesGcm
+from repro.crypto.hashaead import HashAead
+from repro.errors import CryptoError
+
+KEY = bytes(range(16))
+NONCE = b"\x01" * 12
+AAD = b"header"
+
+
+class TestHashAead:
+    def test_roundtrip(self):
+        aead = HashAead(KEY)
+        ct = aead.seal(NONCE, b"attack at dawn", AAD)
+        assert aead.open(NONCE, ct, AAD) == b"attack at dawn"
+
+    def test_ciphertext_hides_plaintext(self):
+        ct = HashAead(KEY).seal(NONCE, b"secret-payload", b"")
+        assert b"secret-payload" not in ct
+
+    def test_tag_length_matches_gcm(self):
+        assert HashAead.TAG_LEN == AesGcm.TAG_LEN
+        ct = HashAead(KEY).seal(NONCE, b"x" * 10, b"")
+        assert len(ct) == 10 + HashAead.TAG_LEN
+
+    def test_tamper_ciphertext_detected(self):
+        aead = HashAead(KEY)
+        ct = bytearray(aead.seal(NONCE, b"payload", AAD))
+        ct[0] ^= 0x01
+        with pytest.raises(CryptoError):
+            aead.open(NONCE, bytes(ct), AAD)
+
+    def test_tamper_tag_detected(self):
+        aead = HashAead(KEY)
+        ct = bytearray(aead.seal(NONCE, b"payload", AAD))
+        ct[-1] ^= 0x80
+        with pytest.raises(CryptoError):
+            aead.open(NONCE, bytes(ct), AAD)
+
+    def test_wrong_aad_detected(self):
+        aead = HashAead(KEY)
+        ct = aead.seal(NONCE, b"payload", AAD)
+        with pytest.raises(CryptoError):
+            aead.open(NONCE, ct, b"other")
+
+    def test_wrong_nonce_detected(self):
+        aead = HashAead(KEY)
+        ct = aead.seal(NONCE, b"payload", AAD)
+        with pytest.raises(CryptoError):
+            aead.open(b"\x02" * 12, ct, AAD)
+
+    def test_wrong_key_detected(self):
+        ct = HashAead(KEY).seal(NONCE, b"payload", AAD)
+        with pytest.raises(CryptoError):
+            HashAead(bytes(range(16, 32))).open(NONCE, ct, AAD)
+
+    def test_nonce_separates_keystream(self):
+        aead = HashAead(KEY)
+        c1 = aead.seal(b"\x01" * 12, b"same-plaintext", b"")
+        c2 = aead.seal(b"\x02" * 12, b"same-plaintext", b"")
+        assert c1[:14] != c2[:14]
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(CryptoError):
+            HashAead(b"short")
+
+    def test_deterministic(self):
+        assert (HashAead(KEY).seal(NONCE, b"p", AAD)
+                == HashAead(KEY).seal(NONCE, b"p", AAD))

@@ -1,0 +1,94 @@
+"""Admission control: token-bucket and bounded-queue state machines,
+including the seeded random-walk conservation property."""
+
+import random
+
+import pytest
+
+from repro.errors import LoadShed
+from repro.host.admission import AdmissionQueue, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=4.0)
+        assert [bucket.try_take(0.0) for _ in range(5)] \
+            == [True, True, True, True, False]
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=1.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        # 1000/s = one token per 1e6 virtual ns.
+        assert not bucket.try_take(0.5e6)
+        assert bucket.try_take(1.0e6)
+
+    def test_refill_capped_at_burst(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=2.0)
+        for _ in range(2):
+            assert bucket.try_take(0.0)
+        # A long idle period must not accumulate more than `burst`.
+        assert [bucket.try_take(1e12) for _ in range(3)] \
+            == [True, True, False]
+
+    def test_take_raises_typed_shed(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1.0)
+        bucket.take(0.0, tenant="t0")
+        with pytest.raises(LoadShed) as excinfo:
+            bucket.take(0.0, tenant="t0")
+        assert excinfo.value.reason == "rate"
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=1.0)
+        assert bucket.try_take(5e6)
+        # A stale (earlier) timestamp must not mint tokens.
+        assert not bucket.try_take(1e6)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, burst=0.0)
+
+
+class TestAdmissionQueue:
+    def test_fifo(self):
+        queue = AdmissionQueue(4)
+        for item in "abc":
+            queue.offer(item)
+        assert queue.head() == "a"
+        assert [queue.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_sheds_when_full(self):
+        queue = AdmissionQueue(2)
+        queue.offer(1)
+        queue.offer(2)
+        with pytest.raises(LoadShed) as excinfo:
+            queue.offer(3)
+        assert excinfo.value.reason == "queue"
+        assert len(queue) == 2
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_walk_conserves_offers(self, seed):
+        """Property: over any interleaving of offers and pops,
+        offered == admitted + shed, and occupancy never exceeds depth."""
+        rng = random.Random(seed)
+        queue = AdmissionQueue(depth=rng.randrange(1, 8))
+        admitted = popped = 0
+        for _ in range(500):
+            if rng.random() < 0.6:
+                try:
+                    queue.offer(object())
+                    admitted += 1
+                except LoadShed:
+                    pass
+            elif len(queue):
+                queue.pop()
+                popped += 1
+            assert len(queue) <= queue.depth
+            assert queue.offered == admitted + queue.shed
+        assert len(queue) == admitted - popped

@@ -1,0 +1,150 @@
+"""Circuit-breaker state machine: unit transitions plus property tests
+over seeded random walks (the satellite's 'never serves while open' and
+'bounded half-open probes' invariants)."""
+
+import random
+
+import pytest
+
+from repro.errors import LoadShed
+from repro.host.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make(threshold=3, cooldown=1000.0, probes=2):
+    return CircuitBreaker("b", failure_threshold=threshold,
+                          cooldown_ns=cooldown, half_open_probes=probes)
+
+
+class TestTransitions:
+    def test_opens_after_consecutive_failures(self):
+        breaker = make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure(0.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(0.0)
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = make(threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == CLOSED
+
+    def test_open_sheds_until_cooldown(self):
+        breaker = make(threshold=1, cooldown=1000.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(500.0)
+        with pytest.raises(LoadShed) as excinfo:
+            breaker.check(999.0)
+        assert excinfo.value.reason == "breaker"
+        assert breaker.allow(1000.0)       # half-open probe
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = make(threshold=1, cooldown=100.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(100.0)
+        breaker.record_success(150.0)
+        assert breaker.state == CLOSED
+        assert breaker.allow(151.0)
+
+    def test_probe_failure_reopens_full_cooldown(self):
+        breaker = make(threshold=1, cooldown=100.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(100.0)
+        breaker.record_failure(110.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(150.0)
+        assert not breaker.allow(209.0)
+        assert breaker.allow(210.0)
+
+    def test_half_open_probe_budget_bounded(self):
+        breaker = make(threshold=1, cooldown=100.0, probes=2)
+        breaker.record_failure(0.0)
+        assert breaker.allow(100.0)
+        assert breaker.allow(101.0)
+        assert not breaker.allow(102.0)    # budget spent
+        assert breaker.probes == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            make(threshold=0)
+        with pytest.raises(ValueError):
+            make(probes=0)
+
+
+class TestRandomWalkProperties:
+    """Drive the breaker with seeded random traffic and check the
+    safety invariants on every step."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_serves_while_open(self, seed):
+        rng = random.Random(seed)
+        breaker = make(threshold=rng.randrange(1, 5),
+                       cooldown=float(rng.randrange(100, 2000)),
+                       probes=rng.randrange(1, 4))
+        now = 0.0
+        for _ in range(2000):
+            now += rng.expovariate(0.01)
+            state_before = breaker.state
+            cooled = now >= breaker._opened_at_ns + breaker.cooldown_ns
+            admitted = breaker.allow(now)
+            if state_before == OPEN and not cooled:
+                # Open and still cooling: must shed, no exceptions.
+                assert not admitted
+            if admitted:
+                if rng.random() < 0.4:
+                    breaker.record_failure(now)
+                else:
+                    breaker.record_success(now)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_half_open_probes_bounded_per_episode(self, seed):
+        rng = random.Random(seed)
+        probes_budget = rng.randrange(1, 4)
+        breaker = make(threshold=2, cooldown=500.0,
+                       probes=probes_budget)
+        now = 0.0
+        episode_probes = 0
+        for _ in range(3000):
+            now += rng.expovariate(0.01)
+            was_half_open = breaker.state == HALF_OPEN
+            admitted = breaker.allow(now)
+            if breaker.state == HALF_OPEN and admitted:
+                episode_probes = episode_probes + 1 if was_half_open else 1
+                assert episode_probes <= probes_budget
+            elif breaker.state != HALF_OPEN:
+                episode_probes = 0
+            if admitted and rng.random() < 0.6:
+                breaker.record_failure(now)
+            elif admitted:
+                breaker.record_success(now)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_accounting_conserves_and_replays(self, seed):
+        """served + shed == offered on every prefix, and the identical
+        walk yields the identical decision sequence (determinism)."""
+
+        def walk():
+            rng = random.Random(seed)
+            breaker = make(threshold=3, cooldown=800.0, probes=2)
+            now, served, shed = 0.0, 0, 0
+            decisions = []
+            for step in range(1500):
+                now += rng.expovariate(0.01)
+                if breaker.allow(now):
+                    served += 1
+                    if rng.random() < 0.5:
+                        breaker.record_failure(now)
+                    else:
+                        breaker.record_success(now)
+                else:
+                    shed += 1
+                assert served + shed == step + 1
+                assert breaker.shed == shed
+                decisions.append(breaker.state)
+            return decisions
+
+        assert walk() == walk()

@@ -1,0 +1,68 @@
+"""Host serving experiments: small-scale smoke + shape tests, registry
+wiring, and the chaos-protocol invariants the CI leg depends on."""
+
+from repro.experiments.registry import select, specs
+from repro.host.experiments import (run_host_failover, run_host_overload,
+                                    run_host_serving)
+
+
+class TestServingExperiment:
+    def test_shape_and_conservation(self):
+        result = run_host_serving(sessions=120, tenants=8)
+        metrics = result.metrics
+        assert metrics["offered"] == 120
+        assert metrics["served"] + metrics["shed"] \
+            + metrics["deadline_exceeded"] == 120
+        assert metrics["served"] > 0
+        assert metrics["p99_us"] >= metrics["p50_us"] > 0
+        assert metrics["throughput_rps"] > 0
+        # One enrollment per tenant, never per session.
+        assert metrics["enrollments"] <= 8
+        rows = result.row_dict("backend")
+        assert "echo" in rows
+
+    def test_deterministic_across_runs(self):
+        a = run_host_serving(sessions=80, tenants=4)
+        b = run_host_serving(sessions=80, tenants=4)
+        assert a.metrics == b.metrics
+        assert a.rows == b.rows
+
+
+class TestOverloadExperiment:
+    def test_sheds_typed_under_overload(self):
+        metrics = run_host_overload(sessions=300).metrics
+        assert metrics["shed"] > 0
+        assert metrics["shed"] == metrics["shed_queue"] \
+            + metrics["shed_rate"]
+        # Conservation: nothing silently lost.
+        assert metrics["served"] + metrics["shed"] \
+            + metrics["deadline_exceeded"] == metrics["offered"]
+
+
+class TestFailoverExperiment:
+    def test_breaker_trips_probes_and_sheds_typed(self):
+        metrics = run_host_failover(sessions=400).metrics
+        assert metrics["backend_outage_failures"] > 0
+        assert metrics["breaker_opens"] >= 1
+        # Half-open probing happened, and open periods shed typed.
+        assert metrics["breaker_probes"] >= 1
+        assert metrics["shed_breaker"] > 0
+        assert metrics["served"] + metrics["shed"] \
+            + metrics["backend_outage_failures"] == metrics["offered"]
+
+
+class TestRegistryWiring:
+    def test_host_experiments_registered(self):
+        names = set(specs())
+        assert {"host-serving", "host-overload",
+                "host-failover"} <= names
+
+    def test_prefix_select_matches_all_three(self):
+        assert sorted(select(["host"])) \
+            == ["host-failover", "host-overload", "host-serving"]
+
+    def test_budgets_cover_quick_variants(self):
+        for name in ("host-serving", "host-overload", "host-failover"):
+            spec = specs()[name]
+            assert spec.budget_s >= 60
+            assert spec.full_budget_s >= spec.budget_s

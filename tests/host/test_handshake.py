@@ -1,0 +1,76 @@
+"""The attestation gateway: EREPORT-backed enrollment, cheap ticket
+resumption, typed rejection of forged tickets and replayed nonces."""
+
+import pytest
+
+from repro.errors import HandshakeReplay, TicketInvalid
+from repro.experiments.common import nested_host
+from repro.host.handshake import HostGateway, SessionTicket
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    return HostGateway(nested_host())
+
+
+class TestEnroll:
+    def test_enroll_yields_channel_key_and_ticket(self, gateway):
+        credential = gateway.enroll(b"tenant-a")
+        assert len(credential.channel_key) == 32
+        assert credential.ticket.tenant_id == b"tenant-a"
+        assert len(credential.ticket.mac) == 16
+
+    def test_tenants_get_distinct_keys(self, gateway):
+        a = gateway.enroll(b"tenant-kx-1")
+        b = gateway.enroll(b"tenant-kx-2")
+        assert a.channel_key != b.channel_key
+        assert a.ticket.mac != b.ticket.mac
+
+    def test_enrollment_counted(self, gateway):
+        before = gateway.enrollments
+        gateway.enroll(b"tenant-count")
+        assert gateway.enrollments == before + 1
+
+
+class TestResume:
+    def test_resume_derives_per_session_keys(self, gateway):
+        credential = gateway.enroll(b"tenant-r")
+        k1 = gateway.resume(credential.ticket, b"nonce-1")
+        k2 = gateway.resume(credential.ticket, b"nonce-2")
+        assert k1 != k2
+        assert len(k1) == 32
+
+    def test_unknown_tenant_rejected(self, gateway):
+        ghost = SessionTicket(b"tenant-ghost", b"\x00" * 16)
+        with pytest.raises(TicketInvalid):
+            gateway.resume(ghost, b"nonce")
+
+    def test_forged_mac_rejected(self, gateway):
+        credential = gateway.enroll(b"tenant-f")
+        bad = bytes(b ^ 0x01 for b in credential.ticket.mac)
+        forged = SessionTicket(credential.ticket.tenant_id, bad)
+        with pytest.raises(TicketInvalid):
+            gateway.resume(forged, b"nonce")
+
+    def test_replayed_session_nonce_rejected(self, gateway):
+        credential = gateway.enroll(b"tenant-rp")
+        gateway.resume(credential.ticket, b"nonce-once")
+        with pytest.raises(HandshakeReplay):
+            gateway.resume(credential.ticket, b"nonce-once")
+
+    def test_nonce_scope_is_per_tenant(self, gateway):
+        a = gateway.enroll(b"tenant-s1")
+        b = gateway.enroll(b"tenant-s2")
+        gateway.resume(a.ticket, b"shared-nonce")
+        # Same nonce under a different tenant is a different session.
+        gateway.resume(b.ticket, b"shared-nonce")
+
+    def test_typed_errors_not_bare_valueerror(self, gateway):
+        credential = gateway.enroll(b"tenant-t")
+        gateway.resume(credential.ticket, b"nonce-tt")
+        try:
+            gateway.resume(credential.ticket, b"nonce-tt")
+        except HandshakeReplay as error:
+            assert not type(error) is ValueError
+        else:
+            pytest.fail("replay accepted")

@@ -1,0 +1,68 @@
+"""Seeded load generation: determinism, zipfian skew, open/closed loop,
+deadlines, backend assignment."""
+
+from repro.host.loadgen import LoadProfile, generate_arrivals
+
+
+class TestGenerateArrivals:
+    def test_deterministic_for_same_seed(self):
+        profile = LoadProfile(sessions=200, seed=42)
+        assert generate_arrivals(profile) == generate_arrivals(profile)
+
+    def test_seed_changes_workload(self):
+        a = generate_arrivals(LoadProfile(sessions=200, seed=1))
+        b = generate_arrivals(LoadProfile(sessions=200, seed=2))
+        assert a != b
+
+    def test_arrivals_time_sorted(self):
+        arrivals = generate_arrivals(LoadProfile(sessions=300, seed=3))
+        times = [a.at_ns for a in arrivals]
+        assert times == sorted(times)
+
+    def test_zipf_head_dominates(self):
+        arrivals = generate_arrivals(
+            LoadProfile(sessions=2000, tenants=16, seed=5))
+        counts = [0] * 16
+        for arrival in arrivals:
+            counts[arrival.tenant] += 1
+        assert counts[0] > counts[1] > counts[4]
+        assert counts[0] > sum(counts[8:])
+
+    def test_open_loop_rate(self):
+        profile = LoadProfile(sessions=5000, rate_per_s=10_000.0, seed=7)
+        arrivals = generate_arrivals(profile)
+        span_s = arrivals[-1].at_ns * 1e-9
+        rate = profile.sessions / span_s
+        assert 0.9 * profile.rate_per_s < rate < 1.1 * profile.rate_per_s
+
+    def test_closed_loop_rounds(self):
+        profile = LoadProfile(sessions=96, closed_loop=True,
+                              concurrency=32, rate_per_s=1000.0, seed=9)
+        arrivals = generate_arrivals(profile)
+        # 96 sessions at concurrency 32 = exactly 3 distinct rounds.
+        assert len({a.at_ns for a in arrivals}) == 3
+
+    def test_deadlines_relative_to_arrival(self):
+        arrivals = generate_arrivals(
+            LoadProfile(sessions=50, deadline_ns=5e6, seed=11))
+        assert all(a.deadline_ns == a.at_ns + 5e6 for a in arrivals)
+        no_deadline = generate_arrivals(LoadProfile(sessions=50, seed=11))
+        assert all(a.deadline_ns is None for a in no_deadline)
+
+    def test_backend_assignment_tail_ranks(self):
+        profile = LoadProfile(sessions=1, tenants=8, db_tenants=2,
+                              svm_tenants=1)
+        assert profile.backend_of(0) == "echo"
+        assert profile.backend_of(4) == "echo"
+        assert profile.backend_of(5) == "minisvm"
+        assert profile.backend_of(6) == "minidb"
+        assert profile.backend_of(7) == "minidb"
+
+    def test_db_ops_alternate_insert_select(self):
+        arrivals = generate_arrivals(LoadProfile(
+            sessions=600, tenants=4, db_tenants=4, seed=13))
+        ops = [a.op for a in arrivals]
+        assert ops[0].startswith(b"INSERT")
+        assert ops[1].startswith(b"SELECT")
+        # Every SELECT reads the key the preceding INSERT wrote.
+        assert b"WHERE k = 1" in ops[1]

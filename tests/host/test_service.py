@@ -1,0 +1,197 @@
+"""End-to-end serving-layer tests: typed failure taxonomy, session
+resurrection, fail-stop integrity, conservation, determinism."""
+
+import pytest
+
+from repro.crypto.hashaead import HashAead
+from repro.errors import HostError, IntegrityViolation, LoadShed
+from repro.experiments.common import nested_host
+from repro.host.backends import FlakyBackend, make_backends
+from repro.host.loadgen import Arrival, LoadProfile, generate_arrivals
+from repro.host.service import HostConfig, HostService
+
+
+def build(backends=("echo",), config=None, flaky=None):
+    host = nested_host()
+    built = make_backends(host, backends)
+    if flaky is not None:
+        built = {name: FlakyBackend(backend, **flaky)
+                 for name, backend in built.items()}
+    return HostService(host, built, config or HostConfig())
+
+
+def burst(n, spacing_ns=1.0, tenant=0, deadline_ns=None, size=64):
+    """n echo arrivals packed tightly enough to keep workers busy."""
+    return [Arrival(i * spacing_ns, tenant, "echo",
+                    bytes([i & 0xFF]) * size,
+                    None if deadline_ns is None
+                    else i * spacing_ns + deadline_ns)
+            for i in range(n)]
+
+
+class TestServing:
+    def test_serves_and_conserves(self):
+        service = build()
+        stats = service.run(generate_arrivals(
+            LoadProfile(sessions=60, tenants=4, rate_per_s=2000.0,
+                        seed=1)))
+        assert stats.served == stats.offered == 60
+        assert stats.accounted() == stats.offered
+        assert len(stats.latencies_ns) == 60
+        assert all(lat > 0 for lat in stats.latencies_ns)
+        service.close()
+
+    def test_echo_round_trips_payload(self):
+        service = build()
+        replies = {}
+        original = service._handle_wire
+
+        def spy(payload):
+            reply = original(payload)
+            replies[bytes(payload)] = reply
+            return reply
+
+        service._handle_wire = spy
+        service.run([Arrival(0.0, 0, "echo", b"\xab" * 48)])
+        (reply,) = replies.values()
+        assert reply[0] == 0 and reply[1:] == b"\xab" * 48
+        service.close()
+
+    def test_tenants_pin_separate_links(self):
+        service = build()
+        service.run([Arrival(0.0, 0, "echo", b"a" * 32),
+                     Arrival(10.0, 1, "echo", b"b" * 32)])
+        links = {t.link for t in service._tenants.values()}
+        assert len(links) == 2
+        assert service.gateway.enrollments == 2
+        assert service.gateway.resumptions == 2
+        service.close()
+
+
+class TestSheddingTyped:
+    def test_queue_overflow_sheds(self):
+        service = build(config=HostConfig(
+            workers=1, queue_depth=4, rate_per_s=1e9, burst=1e9))
+        stats = service.run(burst(64))
+        assert stats.shed_queue > 0
+        assert stats.served + stats.shed_queue == 64
+        assert stats.accounted() == stats.offered
+        service.close()
+
+    def test_rate_limit_sheds(self):
+        service = build(config=HostConfig(
+            workers=4, queue_depth=1024, rate_per_s=10.0, burst=2.0))
+        stats = service.run(burst(20))
+        assert stats.shed_rate == 18
+        assert stats.served == 2
+        service.close()
+
+    def test_deadline_exceeded_typed_not_hang(self):
+        # One worker, ~tens-of-µs service times, 1 ns deadlines: every
+        # queued request is dead by dispatch.
+        service = build(config=HostConfig(
+            workers=1, queue_depth=1024, rate_per_s=1e9, burst=1e9))
+        stats = service.run(burst(32, deadline_ns=1.0))
+        assert stats.deadline_exceeded > 0
+        assert stats.deadline_exceeded + stats.served == 32
+        service.close()
+
+    def test_breaker_sheds_while_backend_down(self):
+        service = build(
+            config=HostConfig(workers=2, queue_depth=256,
+                              rate_per_s=1e9, burst=1e9,
+                              breaker_failures=2,
+                              breaker_cooldown_ns=1e12),
+            flaky={"outages": 1, "outage_len": 200, "period": 220,
+                   "seed": 3})
+        stats = service.run(burst(64))
+        assert stats.shed_breaker > 0
+        assert stats.backend_failures >= 2
+        assert stats.breaker_opens >= 1
+        assert stats.accounted() == stats.offered
+        service.close()
+
+    def test_unknown_backend_is_typed_failure(self):
+        service = build()
+        stats = service.run([Arrival(0.0, 0, "nosuch", b"x")])
+        assert stats.backend_failures == 1
+        assert stats.accounted() == 1
+        service.close()
+
+
+class TestResurrection:
+    def test_corrupted_channel_resurrects_and_serves(self):
+        service = build()
+        service.run([Arrival(0.0, 0, "echo", b"warm" * 8)])
+        tenant = service._tenants[0]
+        generation = tenant.generation
+        # Corrupt the pinned session: the responder loses its key, so
+        # the next request fails decryption with a typed CryptoError.
+        tenant.responder._gcm = HashAead(b"\xee" * 16)
+        stats = service.run([Arrival(1e6, 0, "echo", b"next" * 8)])
+        assert stats.served == 2
+        assert stats.resurrections == 1
+        assert service._tenants[0].generation == generation + 1
+        service.close()
+
+    def test_resurrection_rekeys_generation(self):
+        service = build()
+        service.run([Arrival(0.0, 0, "echo", b"x" * 16)])
+        tenant = service._tenants[0]
+        old_link = tenant.link
+        service._resurrect(tenant)
+        assert tenant.link is not old_link
+        # Fresh generation serves cleanly with reset send counters.
+        stats = service.run([Arrival(1e6, 0, "echo", b"y" * 16)])
+        assert stats.served == 2
+        service.close()
+
+
+class TestFailStop:
+    def test_integrity_violation_never_absorbed(self):
+        service = build()
+
+        class TamperedBackend:
+            name = "echo"
+
+            def handle(self, op):
+                raise IntegrityViolation("MEE MAC mismatch (test)")
+
+            def close(self):
+                pass
+
+        service.backends["echo"] = TamperedBackend()
+        with pytest.raises(IntegrityViolation):
+            service.run([Arrival(0.0, 0, "echo", b"x" * 16)])
+        service.close()
+
+    def test_conservation_violation_raises(self):
+        service = build()
+        stats = service.run([Arrival(0.0, 0, "echo", b"x" * 16)])
+        stats.offered += 1   # simulate lost accounting
+        with pytest.raises(HostError):
+            service.run([])
+        service.close()
+
+
+class TestDeterminism:
+    def test_identical_workload_identical_stats(self):
+        profile = LoadProfile(sessions=40, tenants=4,
+                              rate_per_s=5000.0, seed=17)
+
+        def once():
+            service = build()
+            stats = service.run(generate_arrivals(profile))
+            snapshot = (stats.served, stats.shed_total,
+                        stats.deadline_exceeded,
+                        tuple(stats.latencies_ns), stats.finish_ns,
+                        service.machine.clock.now_ns)
+            service.close()
+            return snapshot
+
+        assert once() == once()
+
+    def test_loadshed_carries_reason(self):
+        with pytest.raises(LoadShed) as excinfo:
+            raise LoadShed("x", reason="rate")
+        assert excinfo.value.reason == "rate"

@@ -1,14 +1,19 @@
 """Local-attestation handshake and nested constellation attestation."""
 
+import dataclasses
+import hashlib
+
 import pytest
 
 from repro.core import NestedValidator
-from repro.errors import MeasurementMismatch
+from repro.errors import (HandshakeReplay, MeasurementMismatch,
+                          ReportForgery)
 from repro.os import Kernel
 from repro.sdk import EnclaveBuilder, EnclaveHost, developer_key, parse_edl
-from repro.sdk.attest import (AttestationPolicy, attest_constellation,
-                              mutual_attest)
-from repro.sgx import Machine
+from repro.sdk.attest import (AttestationPolicy, ReplayGuard,
+                              attest_constellation, mutual_attest,
+                              verify_peer_report)
+from repro.sgx import Machine, isa
 
 SIMPLE_EDL = "enclave { trusted { public int noop(void); }; };"
 NESTED_EDL = """
@@ -126,3 +131,91 @@ class TestConstellationAttest:
         view = attest_constellation(verifier, inner)
         assert (outer.secs.mrenclave, outer.secs.mrsigner) \
             in view.outer_measurements
+
+
+class TestNegativePaths:
+    """Satellite hardening: forged MAC, wrong measurement, replayed
+    nonce — every rejection a typed error, never a bare ValueError."""
+
+    def _genuine_report(self, host, src, target):
+        machine, core = host.machine, host.core
+        isa.eenter(machine, core, src.secs, src.idle_tcs())
+        report = isa.ereport(machine, core, target.secs.mrenclave,
+                             b"\x00" * 32)
+        isa.eexit(machine, core)
+        return report
+
+    def _verify(self, host, verifier, report, policy, expected=None):
+        machine, core = host.machine, host.core
+        isa.eenter(machine, core, verifier.secs, verifier.idle_tcs())
+        try:
+            verify_peer_report(machine, core, report, policy, expected)
+        finally:
+            isa.eexit(machine, core)
+
+    def test_forged_report_mac_is_report_forgery(self, host):
+        key = developer_key("attest")
+        a, b = build(host, "a", key), build(host, "b", key)
+        report = self._genuine_report(host, b, a)
+        forged = dataclasses.replace(
+            report, mac_tag=bytes(len(report.mac_tag)))
+        policy = AttestationPolicy(mrsigner=a.secs.mrsigner)
+        with pytest.raises(ReportForgery):
+            self._verify(host, a, forged, policy)
+
+    def test_tampered_measurement_breaks_the_mac(self, host):
+        """Swapping MRENCLAVE without re-MACing is forgery, not a
+        policy mismatch — the MAC covers the body."""
+        key = developer_key("attest")
+        a, b = build(host, "a", key), build(host, "b", key)
+        report = self._genuine_report(host, b, a)
+        tampered = dataclasses.replace(
+            report, mrenclave=hashlib.sha256(b"evil").digest())
+        with pytest.raises(ReportForgery):
+            self._verify(host, a, tampered,
+                         AttestationPolicy(mrsigner=a.secs.mrsigner))
+
+    def test_wrong_mrenclave_is_measurement_mismatch(self, host):
+        key = developer_key("attest")
+        a, b = build(host, "a", key), build(host, "b", key)
+        report = self._genuine_report(host, b, a)
+        policy = AttestationPolicy(
+            mrenclave=hashlib.sha256(b"someone-else").digest())
+        with pytest.raises(MeasurementMismatch):
+            self._verify(host, a, report, policy)
+
+    def test_unbound_report_data_is_report_forgery(self, host):
+        key = developer_key("attest")
+        a, b = build(host, "a", key), build(host, "b", key)
+        report = self._genuine_report(host, b, a)
+        with pytest.raises(ReportForgery):
+            self._verify(host, a, report,
+                         AttestationPolicy(mrsigner=a.secs.mrsigner),
+                         expected=hashlib.sha256(b"other").digest())
+
+    def test_replayed_handshake_nonce_rejected(self, host):
+        key = developer_key("attest")
+        a, b = build(host, "a", key), build(host, "b", key)
+        policy = AttestationPolicy(mrsigner=a.secs.mrsigner)
+        guard = ReplayGuard()
+        key_a, key_b = mutual_attest(a, b, policy, policy,
+                                     nonce=b"nonce-1",
+                                     replay_guard=guard)
+        assert key_a == key_b
+        with pytest.raises(HandshakeReplay):
+            mutual_attest(a, b, policy, policy, nonce=b"nonce-1",
+                          replay_guard=guard)
+        # A fresh nonce still goes through.
+        mutual_attest(a, b, policy, policy, nonce=b"nonce-2",
+                      replay_guard=guard)
+
+    def test_replay_guard_memory_is_bounded(self):
+        guard = ReplayGuard(capacity=4)
+        for i in range(10):
+            guard.consume(i.to_bytes(4, "little"))
+        assert len(guard._seen) <= 5
+
+    def test_typed_errors_are_not_bare_valueerror(self):
+        for exc in (ReportForgery, HandshakeReplay, MeasurementMismatch):
+            assert not issubclass(exc, ValueError)
+        assert issubclass(ReportForgery, MeasurementMismatch)

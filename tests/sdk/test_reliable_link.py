@@ -1,18 +1,27 @@
 """ReliableLink/ReliableResponder: forward progress over a lossy OS
-router — resends, dedupe, stale-response handling, typed timeout."""
+router — resends, seeded exponential backoff, dedupe, stale-response
+handling, typed timeout and deadline."""
 
 import pytest
 
 from repro.core import NestedValidator
-from repro.errors import ChannelTimeout
+from repro.errors import ChannelTimeout, DeadlineExceeded
 from repro.faults.ipc import install_lossy_router
 from repro.os import Kernel
 from repro.perf.costmodel import CHANNEL_RETRY_BACKOFF_NS
-from repro.sdk.secure_channel import RELIABLE_MAX_ATTEMPTS, reliable_pair
+from repro.sdk.secure_channel import (RELIABLE_MAX_ATTEMPTS,
+                                      BackoffPolicy, reliable_pair)
 from repro.sgx.constants import SmallMachineConfig
 from repro.sgx.machine import Machine
 
 KEY = bytes(range(16))
+
+
+def expected_backoff(rid: int, retries: int) -> float:
+    """Simulated wait the default policy charges for ``retries``
+    failed attempts of request ``rid``."""
+    return sum(BackoffPolicy().schedule(
+        rid, RELIABLE_MAX_ATTEMPTS - 1)[:retries])
 
 
 def fresh():
@@ -69,7 +78,7 @@ class TestLossyTransport:
         assert link.call(b"ping", pump=responder.pump) == b"echo:ping"
         assert calls == [b"ping"]  # handler ran exactly once
         spent = machine.cost.breakdown["channel_backoff"] - before
-        assert spent == 2 * CHANNEL_RETRY_BACKOFF_NS
+        assert spent == pytest.approx(expected_backoff(rid=1, retries=2))
 
     def test_total_blackout_times_out_typed(self):
         machine, kernel = fresh()
@@ -82,8 +91,8 @@ class TestLossyTransport:
             link.call(b"ping", pump=responder.pump)
         assert calls == []
         spent = machine.cost.breakdown["channel_backoff"] - before
-        assert spent == (RELIABLE_MAX_ATTEMPTS - 1) \
-            * CHANNEL_RETRY_BACKOFF_NS
+        assert spent == pytest.approx(
+            expected_backoff(rid=1, retries=RELIABLE_MAX_ATTEMPTS - 1))
 
     def test_duplicated_request_served_once(self):
         machine, kernel = fresh()
@@ -93,8 +102,8 @@ class TestLossyTransport:
         link, responder, calls = make_pair(machine, kernel)
         assert link.call(b"ping", pump=responder.pump) == b"echo:ping"
         assert calls == [b"ping"]  # dedupe by request id
-        # The duplicate was re-answered from the cached reply; the
-        # extra response is drained and discarded by a later call.
+        # The byte-identical duplicate hits the responder's dup window
+        # and is discarded without a re-answer (and without charging).
         assert link.call(b"pong", pump=responder.pump) == b"echo:pong"
         assert calls == [b"ping", b"pong"]
 
@@ -126,3 +135,115 @@ class TestLossyTransport:
         link, responder, calls = make_pair(machine, kernel)
         assert link.call(b"ping", pump=responder.pump) == b"echo:ping"
         assert calls == [b"ping"]  # handler did NOT run twice
+
+
+class TestBackoffSchedule:
+    """The satellite contract: seeded deterministic exponential backoff
+    with jitter, replayable per request ID."""
+
+    def test_same_seed_same_rid_is_identical(self):
+        policy = BackoffPolicy(seed=7)
+        assert policy.schedule(3, 4) == policy.schedule(3, 4)
+
+    def test_different_rids_decorrelate(self):
+        policy = BackoffPolicy(seed=7)
+        assert policy.schedule(1, 4) != policy.schedule(2, 4)
+
+    def test_different_seeds_decorrelate(self):
+        assert BackoffPolicy(seed=1).schedule(1, 4) != \
+            BackoffPolicy(seed=2).schedule(1, 4)
+
+    def test_exponential_envelope_with_cap_and_jitter(self):
+        policy = BackoffPolicy(base_ns=1000.0, multiplier=2.0,
+                               cap_ns=4000.0, jitter=0.5, seed=0)
+        waits = policy.schedule(9, 6)
+        raw = [1000.0, 2000.0, 4000.0, 4000.0, 4000.0, 4000.0]
+        for wait, ceiling in zip(waits, raw):
+            assert ceiling * 0.5 <= wait <= ceiling
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = BackoffPolicy(base_ns=100.0, multiplier=3.0,
+                               cap_ns=1e9, jitter=0.0)
+        assert policy.schedule(1, 3) == [100.0, 300.0, 900.0]
+
+    def test_link_charges_the_policy_schedule(self):
+        machine, kernel = fresh()
+        install_lossy_router(
+            kernel, lambda n, port, message:
+            "drop" if port.endswith(":req") else "deliver")
+        policy = BackoffPolicy(base_ns=CHANNEL_RETRY_BACKOFF_NS, seed=5)
+        link, responder = reliable_pair(
+            machine, kernel.ipc, "svc", KEY,
+            lambda payload: payload, backoff=policy)[:2]
+        with pytest.raises(ChannelTimeout):
+            link.call(b"ping", pump=responder.pump)
+        spent = machine.cost.breakdown["channel_backoff"]
+        assert spent == pytest.approx(sum(policy.schedule(
+            1, RELIABLE_MAX_ATTEMPTS - 1)))
+
+
+class TestDeadline:
+    def test_deadline_in_the_past_fails_before_any_attempt(self):
+        machine, kernel = fresh()
+        link, responder, calls = make_pair(machine, kernel)
+        machine.cost.charge("warmup", 1000.0)
+        with pytest.raises(DeadlineExceeded):
+            link.call(b"ping", pump=responder.pump, deadline_ns=500.0)
+        assert calls == []
+
+    def test_deadline_fires_between_attempts_never_hangs(self):
+        machine, kernel = fresh()
+        install_lossy_router(
+            kernel, lambda n, port, message:
+            "drop" if port.endswith(":req") else "deliver")
+        link, responder, calls = make_pair(machine, kernel)
+        deadline = machine.clock.now_ns + 1.0  # < one backoff wait
+        with pytest.raises(DeadlineExceeded):
+            link.call(b"ping", pump=responder.pump, deadline_ns=deadline)
+        assert calls == []
+
+    def test_generous_deadline_does_not_interfere(self):
+        machine, kernel = fresh()
+        link, responder, calls = make_pair(machine, kernel)
+        deadline = machine.clock.now_ns + 1e12
+        assert link.call(b"ping", pump=responder.pump,
+                         deadline_ns=deadline) == b"echo:ping"
+
+
+class TestDupTransparency:
+    """OS-manufactured duplicates must be absorbed without charging —
+    the property that keeps benign `dup` fault plans byte-invisible in
+    the chaos fingerprints."""
+
+    def _cost_state(self, machine):
+        return (machine.clock.now_ns, dict(machine.cost.breakdown))
+
+    def test_request_dup_leaves_costs_identical(self):
+        baseline_machine, baseline_kernel = fresh()
+        link, responder, _ = make_pair(baseline_machine, baseline_kernel)
+        link.call(b"ping", pump=responder.pump)
+        baseline = self._cost_state(baseline_machine)
+
+        machine, kernel = fresh()
+        install_lossy_router(
+            kernel, lambda n, port, message:
+            "dup" if port.endswith(":req") else "deliver")
+        link, responder, _ = make_pair(machine, kernel)
+        link.call(b"ping", pump=responder.pump)
+        assert self._cost_state(machine) == baseline
+
+    def test_response_dup_leaves_costs_identical(self):
+        baseline_machine, baseline_kernel = fresh()
+        link, responder, _ = make_pair(baseline_machine, baseline_kernel)
+        link.call(b"one", pump=responder.pump)
+        link.call(b"two", pump=responder.pump)
+        baseline = self._cost_state(baseline_machine)
+
+        machine, kernel = fresh()
+        install_lossy_router(
+            kernel, lambda n, port, message:
+            "dup" if port.endswith(":resp") else "deliver")
+        link, responder, _ = make_pair(machine, kernel)
+        link.call(b"one", pump=responder.pump)
+        link.call(b"two", pump=responder.pump)
+        assert self._cost_state(machine) == baseline

@@ -66,10 +66,10 @@ class TestTier1Gate:
         assert "push" in triggers
         assert "pull_request" in triggers
 
-    def test_eight_separate_jobs(self):
+    def test_nine_separate_jobs(self):
         assert set(_load("ci.yml")["jobs"]) == \
             {"tests", "ruff", "analysis", "modelcheck", "chaos",
-             "orderliness", "bench-smoke", "flow"}
+             "orderliness", "bench-smoke", "flow", "host"}
 
     def test_python_matrix_is_39_and_312(self):
         tests = _load("ci.yml")["jobs"]["tests"]
@@ -116,6 +116,15 @@ class TestTier1Gate:
                    and "--chaos 3" in run
                    for step in chaos["steps"]
                    for run in [step.get("run", "")])
+
+    def test_host_job_runs_serving_layer_under_chaos(self):
+        host = _load("ci.yml")["jobs"]["host"]
+        assert host["env"]["PYTHONPATH"] == "src"
+        assert host["env"]["REPRO_SKIP_HOST_BUDGET"] == "1"
+        assert any(
+            run.strip() == "python -m repro.runner -j 2 --chaos 2 host"
+            for step in host["steps"]
+            for run in [step.get("run", "")])
 
     def test_orderliness_job_replays_workload_logs(self):
         orderliness = _load("ci.yml")["jobs"]["orderliness"]
@@ -216,6 +225,25 @@ class TestNightlyPipeline:
         uploads = [step for step in chaos["steps"]
                    if "upload-artifact" in step.get("uses", "")]
         assert uploads and uploads[0].get("if") == "always()"
+
+    def test_host_soak_runs_benchmark_scale_chaos_and_uploads(self):
+        """Nightly soak: the serving layer at 100k sessions under 10
+        benign plans + bitflip, with SLO numbers published."""
+        soak = _load("nightly.yml")["jobs"]["host-soak"]
+        assert soak["env"]["PYTHONPATH"] == "src"
+        assert soak["env"]["REPRO_SKIP_HOST_BUDGET"] == "1"
+        runs = [run for step in soak["steps"]
+                for run in [step.get("run", "")]]
+        chaos_runs = [run for run in runs
+                      if "--chaos 10" in run and "--full" in run
+                      and run.rstrip().endswith("host")]
+        assert chaos_runs
+        assert "--chaos-dir" in chaos_runs[0]
+        assert any("--json results-host.json" in run for run in runs)
+        uploads = [step for step in soak["steps"]
+                   if "upload-artifact" in step.get("uses", "")]
+        assert uploads and uploads[0].get("if") == "always()"
+        assert "results-host.json" in uploads[0]["with"]["path"]
 
     def test_difffuzz_deep_job_fuzzes_200_schedules(self):
         """Nightly depth: at least 200 seeded schedules with fault
